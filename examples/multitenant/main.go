@@ -1,0 +1,77 @@
+// Multitenant: the §5.1 behavior-isolation experiment. Three modules —
+// CALC, Firewall, and NetCache — run simultaneously on one pipeline;
+// each behaves exactly as it does running alone, and one tenant's
+// stateful memory is invisible to the others.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	menshen "repro"
+	"repro/internal/p4progs"
+	"repro/internal/trafficgen"
+)
+
+func main() {
+	dev := menshen.NewDevice()
+
+	for i, name := range []string{"CALC", "Firewall", "NetCache"} {
+		p, err := p4progs.ByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := dev.LoadModule(p.Source(), uint16(i+1)); err != nil {
+			log.Fatalf("load %s: %v", name, err)
+		}
+		fmt.Printf("module %d: %s — %s\n", i+1, p.Name, p.Description)
+	}
+	fmt.Println()
+
+	// CALC (module 1).
+	res, err := dev.Send(trafficgen.CalcPacket(1, trafficgen.CalcAdd, 40, 2, 0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, _ := trafficgen.CalcResult(res.Output)
+	fmt.Printf("CALC     : 40+2 = %d\n", v)
+
+	// Firewall (module 2): 10.0.0.1:80 is denied, others pass.
+	blocked := trafficgen.FlowPacket(2, [4]byte{10, 0, 0, 1}, [4]byte{10, 9, 9, 9}, 1234, 80, 0)
+	res, _ = dev.Send(blocked)
+	fmt.Printf("Firewall : 10.0.0.1->:80 dropped=%v\n", res.Dropped)
+	allowed := trafficgen.FlowPacket(2, [4]byte{10, 0, 0, 7}, [4]byte{10, 9, 9, 9}, 1234, 80, 0)
+	res, _ = dev.Send(allowed)
+	fmt.Printf("Firewall : 10.0.0.7->:80 dropped=%v\n", res.Dropped)
+
+	// NetCache (module 3): PUT then GET.
+	if _, err := dev.Send(trafficgen.KVPacket(3, trafficgen.KVPut, 12, 9999, 0)); err != nil {
+		log.Fatal(err)
+	}
+	res, _ = dev.Send(trafficgen.KVPacket(3, trafficgen.KVGet, 12, 0, 0))
+	kv, _ := trafficgen.KVValue(res.Output)
+	fmt.Printf("NetCache : GET key=12 -> %d\n", kv)
+
+	// Isolation spot checks.
+	fmt.Println("\nisolation checks:")
+
+	// 1. Cross-module traffic cannot touch another tenant's tables: a
+	//    CALC-formatted packet tagged as module 3 hits NetCache's parser
+	//    and tables, not CALC's.
+	cross := trafficgen.CalcPacket(3, trafficgen.CalcAdd, 1, 2, 0)
+	res, _ = dev.Send(cross)
+	crossV, _ := trafficgen.CalcResult(res.Output)
+	fmt.Printf("  CALC payload tagged module 3: result untouched (%d) — behavior isolation\n", crossV)
+
+	// 2. Per-module hardware counters from the system-level module.
+	for id := uint16(1); id <= 3; id++ {
+		n, err := dev.SystemPacketCount(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  system-level packet counter for module %d: %d\n", id, n)
+	}
+
+	// 3. The packet filter's verdicts.
+	fmt.Printf("  filter verdicts: %v\n", dev.FilterVerdicts())
+}

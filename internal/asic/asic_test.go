@@ -1,0 +1,110 @@
+package asic
+
+import (
+	"math"
+	"testing"
+)
+
+func within(got, want, tol float64) bool { return math.Abs(got-want) <= tol }
+
+func TestBlockOverheadsMatchPaper(t *testing.T) {
+	// §5.2: Menshen incurs 18.5% (parser), 7% (deparser), 20.9% (stage)
+	// additional area versus baseline RMT. The model's structural bit
+	// counts must land near these.
+	rep := Analyze()
+	if p := rep.Parser.Percent(); !within(p, 18.5, 3) {
+		t.Errorf("parser overhead = %.1f%%, want ~18.5%%", p)
+	}
+	if p := rep.Deparser.Percent(); !within(p, 7.0, 2) {
+		t.Errorf("deparser overhead = %.1f%%, want ~7%%", p)
+	}
+	if p := rep.Stage.Percent(); !within(p, 20.9, 4) {
+		t.Errorf("stage overhead = %.1f%%, want ~20.9%%", p)
+	}
+}
+
+func TestPipelineOverheadMatchesPaper(t *testing.T) {
+	// 5-stage pipeline: Menshen 10.81 mm² vs RMT 9.71 mm² (+11.4%).
+	rep := Analyze()
+	if p := rep.Pipeline.Percent(); !within(p, 11.4, 2) {
+		t.Errorf("pipeline overhead = %.1f%%, want ~11.4%%", p)
+	}
+	if mm := rep.Pipeline.RMT.MM2(); !within(mm, 9.71, 1.0) {
+		t.Errorf("RMT pipeline = %.2f mm², want ~9.71", mm)
+	}
+	if mm := rep.Pipeline.Menshen.MM2(); !within(mm, 10.81, 1.0) {
+		t.Errorf("Menshen pipeline = %.2f mm², want ~10.81", mm)
+	}
+}
+
+func TestChipOverheadAbout5Point7(t *testing.T) {
+	rep := Analyze()
+	if !within(rep.ChipOverheadPercent, 5.7, 1.2) {
+		t.Errorf("chip overhead = %.1f%%, want ~5.7%%", rep.ChipOverheadPercent)
+	}
+}
+
+func TestMeetsTiming(t *testing.T) {
+	if !Analyze().MeetsTimingAt1GHz {
+		t.Error("deep-pipelined design should meet 1 GHz")
+	}
+}
+
+func TestOverheadGrowsWithModuleCount(t *testing.T) {
+	// §3.1: "The ASIC area overhead increases as we increase the number
+	// of simultaneous programming modules."
+	small := MenshenGeometry()
+	small.Modules = 8
+	big := MenshenGeometry()
+	big.Modules = 64
+	if small.StageArea() >= big.StageArea() {
+		t.Error("stage area should grow with module count")
+	}
+	if small.ParserArea() >= big.ParserArea() {
+		t.Error("parser area should grow with module count")
+	}
+}
+
+func TestOverheadShrinksWithDeeperCAM(t *testing.T) {
+	// §5.2: "With much larger number of entries in lookup tables ...
+	// Menshen's additional chip area will be negligible."
+	shallow := MenshenGeometry()
+	shallowRMT := RMTGeometry()
+	deep := MenshenGeometry()
+	deep.CAMDepth = 512
+	deepRMT := RMTGeometry()
+	deepRMT.CAMDepth = 512
+
+	ovh := func(m, r Geometry) float64 {
+		return (float64(m.StageArea()) - float64(r.StageArea())) / float64(r.StageArea())
+	}
+	if ovh(deep, deepRMT) >= ovh(shallow, shallowRMT) {
+		t.Error("relative overhead should shrink as lookup tables grow")
+	}
+}
+
+func TestRMTHasNoFilter(t *testing.T) {
+	if RMTGeometry().FilterArea() != 0 {
+		t.Error("baseline RMT should not pay for the packet filter")
+	}
+	if MenshenGeometry().FilterArea() <= 0 {
+		t.Error("Menshen includes the packet filter")
+	}
+}
+
+func TestBufferAreaIdenticalBothDesigns(t *testing.T) {
+	if MenshenGeometry().BufferArea() != RMTGeometry().BufferArea() {
+		t.Error("packet buffers are common to both designs")
+	}
+}
+
+func TestOverheadStringFormatting(t *testing.T) {
+	rep := Analyze()
+	if rep.Stage.String() == "" {
+		t.Error("empty overhead string")
+	}
+	var zero Overhead
+	if zero.Percent() != 0 {
+		t.Error("zero overhead should be 0%")
+	}
+}

@@ -1,0 +1,104 @@
+// Package baseline models the comparison systems of §5 and §6:
+//
+//   - A Tofino-like monolithic pipeline: multiple P4 programs must be
+//     merged into a single image, and updating any one program requires
+//     resetting the whole pipeline ("Fast Refresh"), disrupting every
+//     module for ~50 ms — the contrast case of Figure 10.
+//   - The Tofino run-time API cost for installing match-action entries,
+//     the comparison bar in Figure 9.
+//
+// The Tofino hardware itself is unavailable; this model captures the two
+// published behaviours the evaluation depends on: per-entry run-time API
+// cost comparable to Menshen's interface, and whole-switch disruption on
+// any module update.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// FastRefreshOutage is the published disruption of a Tofino Fast Refresh:
+// "this leads to a 50 ms disruption of all servers whose traffic is
+// routed through the switch" (§5.1).
+const FastRefreshOutage = 50 * time.Millisecond
+
+// RuntimeAPIPerEntry is the modeled per-entry cost of the Tofino run-time
+// API (Tofino SDE 9.0.0), calibrated so Figure 9's Tofino bar lands near
+// the Menshen interface bars, as the paper observes ("the time spent in
+// configuration ... is similar to Tofino's run-time APIs").
+const RuntimeAPIPerEntry = 620 * time.Microsecond
+
+// CompileTimePerUseCase is the paper's reported Tofino compile time for
+// the evaluated use cases ("~10 seconds for our use cases").
+const CompileTimePerUseCase = 10 * time.Second
+
+// ErrUnknownModule is returned for operations on unloaded modules.
+var ErrUnknownModule = errors.New("baseline: unknown module")
+
+// Tofino is the monolithic-pipeline model. Programs are merged into one
+// image; any update recompiles and resets the pipeline.
+type Tofino struct {
+	programs map[uint16]string // moduleID -> program name
+	// ResetCount counts full-pipeline resets.
+	ResetCount int
+	// now is the model's clock, advanced by operations.
+	now time.Duration
+	// outageUntil marks the end of the current Fast Refresh outage.
+	outageUntil time.Duration
+}
+
+// NewTofino returns an empty monolithic pipeline.
+func NewTofino() *Tofino {
+	return &Tofino{programs: make(map[uint16]string)}
+}
+
+// Now returns the model clock.
+func (t *Tofino) Now() time.Duration { return t.now }
+
+// Advance moves the model clock forward.
+func (t *Tofino) Advance(d time.Duration) { t.now += d }
+
+// LoadProgram installs or updates one module's program. Because the
+// compiler requires a single merged P4 program per pipeline, *any* load
+// triggers a full-pipeline Fast Refresh: every module's traffic drops for
+// FastRefreshOutage.
+func (t *Tofino) LoadProgram(moduleID uint16, name string) time.Duration {
+	t.programs[moduleID] = name
+	t.ResetCount++
+	t.outageUntil = t.now + FastRefreshOutage
+	return FastRefreshOutage
+}
+
+// RemoveProgram unloads a module; it too resets the pipeline.
+func (t *Tofino) RemoveProgram(moduleID uint16) error {
+	if _, ok := t.programs[moduleID]; !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownModule, moduleID)
+	}
+	delete(t.programs, moduleID)
+	t.ResetCount++
+	t.outageUntil = t.now + FastRefreshOutage
+	return nil
+}
+
+// Forwarding reports whether module traffic flows at the model clock's
+// current instant: false for every module during an outage — the
+// defining difference from Menshen, which only ever drops the module
+// being updated.
+func (t *Tofino) Forwarding(moduleID uint16) bool {
+	if _, ok := t.programs[moduleID]; !ok {
+		return false
+	}
+	return t.now >= t.outageUntil
+}
+
+// InstallEntries models the run-time API cost of installing n
+// match-action entries (no reset needed for entries, matching real
+// Tofino behaviour and Figure 9's comparison).
+func (t *Tofino) InstallEntries(n int) time.Duration {
+	return time.Duration(n) * RuntimeAPIPerEntry
+}
+
+// Programs returns the number of loaded programs.
+func (t *Tofino) Programs() int { return len(t.programs) }

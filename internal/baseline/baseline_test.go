@@ -1,0 +1,94 @@
+package baseline
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestLoadDisruptsEveryModule(t *testing.T) {
+	tf := NewTofino()
+	tf.LoadProgram(1, "calc")
+	tf.Advance(FastRefreshOutage + time.Millisecond)
+	tf.LoadProgram(2, "firewall")
+
+	// During module 2's load, module 1 is ALSO down — the contrast with
+	// Menshen.
+	if tf.Forwarding(1) {
+		t.Error("module 1 forwarding during module 2's Fast Refresh")
+	}
+	if tf.Forwarding(2) {
+		t.Error("module 2 forwarding during its own load")
+	}
+	tf.Advance(FastRefreshOutage + time.Millisecond)
+	if !tf.Forwarding(1) || !tf.Forwarding(2) {
+		t.Error("modules not restored after outage")
+	}
+}
+
+func TestOutageDuration(t *testing.T) {
+	if FastRefreshOutage != 50*time.Millisecond {
+		t.Errorf("outage = %v, want 50ms (published)", FastRefreshOutage)
+	}
+	tf := NewTofino()
+	d := tf.LoadProgram(1, "x")
+	if d != FastRefreshOutage {
+		t.Errorf("LoadProgram outage = %v", d)
+	}
+	tf.Advance(49 * time.Millisecond)
+	if tf.Forwarding(1) {
+		t.Error("forwarding resumed 1ms early")
+	}
+	tf.Advance(2 * time.Millisecond)
+	if !tf.Forwarding(1) {
+		t.Error("forwarding not resumed after 51ms")
+	}
+}
+
+func TestRemoveProgram(t *testing.T) {
+	tf := NewTofino()
+	tf.LoadProgram(1, "x")
+	if err := tf.RemoveProgram(1); err != nil {
+		t.Fatal(err)
+	}
+	if tf.Programs() != 0 {
+		t.Errorf("programs = %d", tf.Programs())
+	}
+	if err := tf.RemoveProgram(1); !errors.Is(err, ErrUnknownModule) {
+		t.Errorf("remove unknown: %v", err)
+	}
+	if tf.ResetCount != 2 {
+		t.Errorf("resets = %d, want 2 (load + remove)", tf.ResetCount)
+	}
+}
+
+func TestUnknownModuleNeverForwards(t *testing.T) {
+	tf := NewTofino()
+	if tf.Forwarding(7) {
+		t.Error("unloaded module forwarding")
+	}
+}
+
+func TestInstallEntriesCostLinear(t *testing.T) {
+	tf := NewTofino()
+	if tf.InstallEntries(16) != 16*RuntimeAPIPerEntry {
+		t.Error("entry cost not linear")
+	}
+	if tf.InstallEntries(0) != 0 {
+		t.Error("zero entries should be free")
+	}
+}
+
+func TestEntryInstallDoesNotReset(t *testing.T) {
+	tf := NewTofino()
+	tf.LoadProgram(1, "x")
+	resets := tf.ResetCount
+	tf.Advance(FastRefreshOutage * 2)
+	tf.InstallEntries(100)
+	if tf.ResetCount != resets {
+		t.Error("entry install triggered a reset")
+	}
+	if !tf.Forwarding(1) {
+		t.Error("entry install disrupted forwarding")
+	}
+}

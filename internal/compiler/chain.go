@@ -1,0 +1,134 @@
+package compiler
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/phv"
+	"repro/internal/sysmod"
+)
+
+// CompileChain implements the §3.4 extension: "the same packet flowing
+// through different P4 modules belonging to one tenant. The compiler can
+// take multiple P4 modules as input, assign them the same module ID, and
+// allocate them to non-overlapping pipeline stages."
+//
+// Each source is compiled independently with a start-stage offset so the
+// chain occupies consecutive tenant stages in order; the parser entries
+// merge (a container extracted by two chained modules must be extracted
+// identically), registers keep module-local names prefixed by their
+// module, and the combined resource demand is checked against the
+// tenant's limits as one unit.
+func CompileChain(sources []string, opts Options) (*Program, error) {
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("%w: empty chain", ErrSemantic)
+	}
+	if opts.Limits == (Limits{}) {
+		opts.Limits = DefaultLimits()
+	}
+	lo, hi := sysmod.TenantStages()
+	start := lo
+	if opts.Limits.StartStage != 0 {
+		start = opts.Limits.StartStage
+	}
+
+	merged := &core.ModuleConfig{
+		ModuleID: opts.ModuleID,
+		Stages:   make([]core.StageConfig, core.NumStages),
+	}
+	out := &Program{Config: merged}
+	names := make([]string, 0, len(sources))
+
+	// Track claimed parser destinations so two chained modules cannot
+	// fight over a container (one overlay parser entry per module ID).
+	type claim struct {
+		offset uint8
+		module string
+	}
+	parseClaims := map[phv.Ref]claim{}
+	parserSlots := 0
+	regNames := map[string]string{}
+
+	for i, src := range sources {
+		limits := opts.Limits
+		limits.StartStage = start
+		prog, err := Compile(src, Options{ModuleID: opts.ModuleID, Limits: limits})
+		if err != nil {
+			return nil, fmt.Errorf("chain module %d: %w", i, err)
+		}
+		name := prog.Config.Name
+		names = append(names, name)
+		out.EntriesGenerated += prog.EntriesGenerated
+
+		// Merge parser actions.
+		for _, a := range prog.Config.Parser.Actions {
+			if !a.Valid {
+				continue
+			}
+			if prev, dup := parseClaims[a.Dest]; dup {
+				if prev.offset != a.Offset {
+					return nil, fmt.Errorf("%w: chained modules %q and %q parse container %v from different offsets (%d vs %d)",
+						ErrSemantic, prev.module, name, a.Dest, prev.offset, a.Offset)
+				}
+				continue // identical extraction: share the parse action
+			}
+			if parserSlots >= opts.Limits.ParserActions {
+				return nil, fmt.Errorf("%w: chain needs more than %d parser actions",
+					ErrResource, opts.Limits.ParserActions)
+			}
+			parseClaims[a.Dest] = claim{offset: a.Offset, module: name}
+			merged.Parser.Actions[parserSlots] = a
+			parserSlots++
+		}
+
+		// Merge stages: compiled with disjoint start offsets, so no two
+		// programs used the same stage.
+		used := 0
+		for s := range prog.Config.Stages {
+			sc := prog.Config.Stages[s]
+			if !sc.Used {
+				continue
+			}
+			if merged.Stages[s].Used {
+				return nil, fmt.Errorf("%w: internal: chained modules overlap in stage %d", ErrSemantic, s)
+			}
+			merged.Stages[s] = sc
+			used++
+		}
+
+		// Registers, qualified by module name.
+		for _, r := range prog.Registers {
+			qual := name + "." + r.Name
+			if prev, dup := regNames[r.Name]; dup && prev != name {
+				// Same short name in two modules is fine; both are
+				// addressable by their qualified names.
+				qual = name + "." + r.Name
+			}
+			regNames[r.Name] = name
+			r.Name = qual
+			out.Registers = append(out.Registers, r)
+		}
+
+		start += prog.StagesUsed
+		out.StagesUsed += prog.StagesUsed
+		if start > hi+1 {
+			return nil, fmt.Errorf("%w: chain needs %d tenant stages; only %d available",
+				ErrResource, out.StagesUsed, hi-lo+1)
+		}
+	}
+
+	merged.Deparser = merged.Parser
+	merged.Name = chainName(names)
+	return out, nil
+}
+
+func chainName(names []string) string {
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += "+"
+		}
+		out += n
+	}
+	return out
+}

@@ -1,0 +1,528 @@
+package compiler
+
+import (
+	"fmt"
+
+	"repro/internal/alu"
+	"repro/internal/core"
+	"repro/internal/parser"
+	"repro/internal/phv"
+	"repro/internal/stage"
+	"repro/internal/tables"
+)
+
+// Program is the result of a successful compilation.
+type Program struct {
+	// Config is the loadable pipeline configuration (tenant stages only;
+	// pass it through sysmod.Config.Augment before loading).
+	Config *core.ModuleConfig
+	// Source is the parsed AST.
+	Source *Module
+	// StagesUsed is the number of tenant stages occupied.
+	StagesUsed int
+	// EntriesGenerated counts the match-action entries the compiler
+	// emitted (explicit plus generated filler; Figure 8's x-axis).
+	EntriesGenerated int
+	// Registers records where each stateful register landed, for
+	// control-plane reads.
+	Registers []RegisterInfo
+}
+
+// RegisterInfo is the placement of one source-level register.
+type RegisterInfo struct {
+	Name  string
+	Stage int // pipeline stage; -1 when the register is unused
+	Base  int // module-segment-local base address
+	Words int
+}
+
+// Options configures a compilation.
+type Options struct {
+	// ModuleID is the VLAN ID assigned to the module.
+	ModuleID uint16
+	// Limits is the module's resource allocation.
+	Limits Limits
+}
+
+// Compile parses, checks, and code-generates a module. This is the full
+// §3.4 path: static checks and resource checks run during analysis;
+// code generation emits parser/deparser entries, key-extractor and mask
+// configurations, and the match-action entries for every table —
+// generating fresh distinct entries up to each table's size so no state
+// leaks from a previous occupant of the partition (§5.1).
+func Compile(src string, opts Options) (*Program, error) {
+	mod, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return CompileAST(mod, opts)
+}
+
+// CompileAST compiles an already parsed module.
+func CompileAST(mod *Module, opts Options) (*Program, error) {
+	if opts.Limits == (Limits{}) {
+		opts.Limits = DefaultLimits()
+	}
+	a, err := analyze(mod, opts.Limits)
+	if err != nil {
+		return nil, err
+	}
+
+	cfg := &core.ModuleConfig{
+		ModuleID: opts.ModuleID,
+		Name:     mod.Name,
+		Stages:   make([]core.StageConfig, core.NumStages),
+	}
+
+	// Parser and deparser entries (identical formats, §3.1). Only fields
+	// the module actually extracts travel in the PHV.
+	var pe parser.Entry
+	for i, item := range a.parses {
+		fi := item.field
+		pe.Actions[i] = parser.Action{
+			Offset: uint8(fi.frameOff),
+			Dest:   fi.ref,
+			Valid:  true,
+		}
+	}
+	cfg.Parser = pe
+	cfg.Deparser = pe
+
+	prog := &Program{Config: cfg, Source: mod, StagesUsed: len(a.placed)}
+	for _, r := range mod.Registers {
+		ri := a.regs[r.Name]
+		prog.Registers = append(prog.Registers, RegisterInfo{
+			Name: r.Name, Stage: ri.stage, Base: ri.base, Words: ri.words,
+		})
+	}
+
+	for _, ti := range a.placed {
+		sc, n, err := a.genStage(ti)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Stages[ti.stage] = sc
+		prog.EntriesGenerated += n
+	}
+	return prog, nil
+}
+
+// genStage emits the stage configuration for one placed table.
+func (a *analysis) genStage(ti *tableInfo) (core.StageConfig, int, error) {
+	sc := core.StageConfig{Used: true}
+
+	// Key extractor entry: container selections plus the predicate.
+	ext := stage.KeyExtractEntry{
+		C6: ti.keySlots.c6,
+		C4: ti.keySlots.c4,
+		C2: ti.keySlots.c2,
+	}
+	var mask tables.Key
+	widths := [6]int{6, 6, 4, 4, 2, 2}
+	for slot := 0; slot < 6; slot++ {
+		if !ti.keySlots.used[slot] {
+			continue
+		}
+		off := slotKeyOffsets[slot]
+		for b := 0; b < widths[slot]; b++ {
+			mask[off+b] = 0xff
+		}
+	}
+	if ti.cond != nil {
+		op, aOpnd, bOpnd, err := a.genPredicate(ti.cond)
+		if err != nil {
+			return sc, 0, err
+		}
+		ext.PredOp = op
+		ext.PredA = aOpnd
+		ext.PredB = bOpnd
+		mask = mask.WithPredicate(true) // predicate bit participates in match
+	}
+	sc.Extract = ext
+	sc.Mask = mask
+
+	// Stateful memory share for this stage.
+	segWords := 0
+	for _, ri := range a.regs {
+		if ri.stage == ti.stage {
+			segWords += ri.words
+		}
+	}
+	if segWords > 0xff {
+		return sc, 0, fmt.Errorf("%w: stage %d needs %d words; segment range is 8-bit", ErrResource, ti.stage, segWords)
+	}
+	sc.SegmentWords = uint8(segWords)
+
+	// Explicit entries first, then generated filler up to the table size.
+	// All keys must be distinct within an exact-match table; a ternary
+	// table keeps source order (the lowest CAM address wins, Appendix B)
+	// and reserves — rather than fills — its remaining slots so the
+	// control plane can insert prioritized rules later.
+	seen := make(map[tables.Key]bool, ti.entryKeys)
+	predBit := ti.pred == 1 // else-branch entries carry a clear bit
+	usePred := ti.cond != nil
+
+	for _, e := range ti.decl.Entries {
+		key, err := a.buildKey(ti, e.KeyVals, usePred && predBit)
+		if err != nil {
+			return sc, 0, fmt.Errorf("entry at line %d: %w", e.Line, err)
+		}
+		entryMask := mask
+		if ti.decl.Ternary {
+			entryMask, err = a.buildEntryMask(ti, e.KeyMasks, usePred)
+			if err != nil {
+				return sc, 0, fmt.Errorf("entry at line %d: %w", e.Line, err)
+			}
+			key = key.Masked(entryMask).WithPredicate(usePred && predBit)
+		} else {
+			if seen[key] {
+				return sc, 0, fmt.Errorf("%w: duplicate key in table %q (line %d); exact-match entries must be distinct",
+					ErrSemantic, ti.decl.Name, e.Line)
+			}
+			seen[key] = true
+		}
+		action, err := a.genAction(ti, a.actions[e.Action], e.Args)
+		if err != nil {
+			return sc, 0, fmt.Errorf("entry at line %d: %w", e.Line, err)
+		}
+		sc.Rules = append(sc.Rules, core.Rule{Key: key, Mask: entryMask, Action: action})
+	}
+
+	if ti.decl.Ternary {
+		// No generated filler for ternary tables; reserve the headroom.
+		if extra := ti.entryKeys - len(sc.Rules); extra > 0 {
+			sc.ReservedSlots = extra
+		}
+		return sc, len(sc.Rules), nil
+	}
+
+	// Filler entries: fresh, mutually distinct keys bound to the first
+	// action with zeroed arguments. Generating (rather than inheriting)
+	// them guarantees no information leaks from a previous module.
+	fillerAct := a.actions[ti.decl.Actions[0]]
+	fillerArgs := make([]uint64, len(fillerAct.Params))
+	fillerAction, err := a.genAction(ti, fillerAct, fillerArgs)
+	if err != nil {
+		return sc, 0, err
+	}
+	next := uint64(1)
+	for len(sc.Rules) < ti.entryKeys {
+		kv := make([]uint64, len(ti.decl.Keys))
+		if len(kv) == 0 {
+			// A keyless table holds exactly one (match-all via mask) entry.
+			if len(sc.Rules) > 0 {
+				return sc, 0, fmt.Errorf("%w: table %q has no key fields but size %d > 1",
+					ErrSemantic, ti.decl.Name, ti.entryKeys)
+			}
+			key, err := a.buildKey(ti, kv, usePred && predBit)
+			if err != nil {
+				return sc, 0, err
+			}
+			sc.Rules = append(sc.Rules, core.Rule{Key: key, Mask: mask, Action: fillerAction})
+			break
+		}
+		// Spread the counter across the first key field, clamped to its
+		// width; overflow walks into subsequent fields.
+		rem := next
+		for i := range kv {
+			w := uint(ti.keySlots.fieldWidth[i] * 8)
+			var fieldMax uint64
+			if w >= 64 {
+				fieldMax = ^uint64(0)
+			} else {
+				fieldMax = 1<<w - 1
+			}
+			kv[i] = rem & fieldMax
+			if w >= 64 {
+				rem = 0
+			} else {
+				rem >>= w
+			}
+		}
+		next++
+		key, err := a.buildKey(ti, kv, usePred && predBit)
+		if err != nil {
+			return sc, 0, err
+		}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		sc.Rules = append(sc.Rules, core.Rule{Key: key, Mask: mask, Action: fillerAction})
+	}
+	return sc, len(sc.Rules), nil
+}
+
+// genPredicate lowers a control condition to key-extractor predicate
+// hardware: comparison opcode plus two 8-bit operands.
+func (a *analysis) genPredicate(c *Condition) (stage.PredOp, stage.Operand, stage.Operand, error) {
+	var op stage.PredOp
+	switch c.Op {
+	case CmpEq:
+		op = stage.PredEq
+	case CmpNe:
+		op = stage.PredNe
+	case CmpLt:
+		op = stage.PredLt
+	case CmpGt:
+		op = stage.PredGt
+	case CmpLe:
+		op = stage.PredLe
+	case CmpGe:
+		op = stage.PredGe
+	}
+	fa, err := a.lookupField(c.A)
+	if err != nil {
+		return 0, stage.Operand{}, stage.Operand{}, err
+	}
+	aOpnd := stage.Operand{IsContainer: true, Slot: uint8(fa.slot)}
+	var bOpnd stage.Operand
+	if c.B.Kind == OpndField {
+		fb, err := a.lookupField(c.B.Field)
+		if err != nil {
+			return 0, stage.Operand{}, stage.Operand{}, err
+		}
+		bOpnd = stage.Operand{IsContainer: true, Slot: uint8(fb.slot)}
+	} else {
+		bOpnd = stage.Operand{Imm: uint8(c.B.Value)}
+	}
+	return op, aOpnd, bOpnd, nil
+}
+
+// buildEntryMask places per-field ternary masks at their key offsets
+// (clipped to each field's width) and includes the predicate bit when the
+// table is conditioned.
+func (a *analysis) buildEntryMask(ti *tableInfo, masks []uint64, usePred bool) (tables.Key, error) {
+	var m tables.Key
+	if len(masks) != len(ti.keySlots.fieldPos) {
+		return m, fmt.Errorf("%w: %d masks for %d key fields", ErrSemantic, len(masks), len(ti.keySlots.fieldPos))
+	}
+	for i, mv := range masks {
+		off := ti.keySlots.fieldPos[i]
+		w := ti.keySlots.fieldWidth[i]
+		for b := w - 1; b >= 0; b-- {
+			m[off+b] = byte(mv)
+			mv >>= 8
+		}
+	}
+	if usePred {
+		m = m.WithPredicate(true)
+	}
+	return m, nil
+}
+
+// buildKey places the entry's key field values at their key offsets and
+// sets the predicate bit.
+func (a *analysis) buildKey(ti *tableInfo, vals []uint64, pred bool) (tables.Key, error) {
+	var k tables.Key
+	if len(vals) != len(ti.keySlots.fieldPos) {
+		return k, fmt.Errorf("%w: %d key values for %d key fields", ErrSemantic, len(vals), len(ti.keySlots.fieldPos))
+	}
+	for i, v := range vals {
+		off := ti.keySlots.fieldPos[i]
+		w := ti.keySlots.fieldWidth[i]
+		for b := w - 1; b >= 0; b-- {
+			k[off+b] = byte(v)
+			v >>= 8
+		}
+	}
+	return k.WithPredicate(pred), nil
+}
+
+// genAction lowers one action (with bound arguments) to a VLIW action.
+func (a *analysis) genAction(ti *tableInfo, act *Action, args []uint64) (alu.Action, error) {
+	var out alu.Action
+	if len(args) != len(act.Params) {
+		return out, fmt.Errorf("%w: action %q takes %d params, got %d args",
+			ErrSemantic, act.Name, len(act.Params), len(args))
+	}
+	bind := map[string]uint64{}
+	for i, p := range act.Params {
+		bind[p] = args[i]
+	}
+	imm16 := func(o Operand) (uint16, error) {
+		switch o.Kind {
+		case OpndConst:
+			if o.Value > 0xffff {
+				return 0, fmt.Errorf("%w: immediate %d exceeds 16 bits", ErrSemantic, o.Value)
+			}
+			return uint16(o.Value), nil
+		case OpndParam:
+			v, ok := bind[o.Param]
+			if !ok {
+				return 0, fmt.Errorf("%w: unbound parameter %q", ErrSemantic, o.Param)
+			}
+			if v > 0xffff {
+				return 0, fmt.Errorf("%w: argument %d for %q exceeds 16 bits", ErrSemantic, v, o.Param)
+			}
+			return uint16(v), nil
+		}
+		return 0, fmt.Errorf("%w: expected immediate operand", ErrSemantic)
+	}
+	fieldSlot := func(fr FieldRef) (uint8, error) {
+		fi, err := a.lookupField(fr)
+		if err != nil {
+			return 0, err
+		}
+		return uint8(fi.slot), nil
+	}
+	addrOperands := func(ad AddrExpr, regName string) (uint8, uint16, error) {
+		base := uint64(0)
+		if regName != "" {
+			ri, ok := a.regs[regName]
+			if !ok {
+				return 0, 0, fmt.Errorf("%w: unknown register %q", ErrSemantic, regName)
+			}
+			base = uint64(ri.base)
+		}
+		cv, err := imm16(ad.Const)
+		if err != nil {
+			return 0, 0, err
+		}
+		imm := base + uint64(cv)
+		if imm > 0xffff {
+			return 0, 0, fmt.Errorf("%w: address immediate %d exceeds 16 bits", ErrSemantic, imm)
+		}
+		slot := uint8(alu.NoOperand)
+		if ad.HasField {
+			s, err := fieldSlot(ad.Field)
+			if err != nil {
+				return 0, 0, err
+			}
+			slot = s
+		}
+		return slot, uint16(imm), nil
+	}
+
+	metaSlot := 3 * phv.NumPerType
+	for _, s := range act.Body {
+		switch s.Kind {
+		case StmtDrop:
+			out[metaSlot] = alu.Instr{Op: alu.OpDiscard, A: uint8(metaSlot)}
+		case StmtSetPort:
+			v, err := imm16(s.Port)
+			if err != nil {
+				return out, err
+			}
+			out[metaSlot] = alu.Instr{Op: alu.OpPort, A: uint8(metaSlot), Imm: v}
+		case StmtAssign:
+			destSlot, err := fieldSlot(s.Dest)
+			if err != nil {
+				return out, err
+			}
+			in, err := lowerAssign(s, bind, fieldSlot, imm16)
+			if err != nil {
+				return out, err
+			}
+			out[destSlot] = in
+		case StmtLoad, StmtLoadd:
+			destSlot, err := fieldSlot(s.Dest)
+			if err != nil {
+				return out, err
+			}
+			regName := s.Reg
+			if s.Kind == StmtLoadd {
+				regName = s.Reg // loadd may omit the register (addr-only form)
+			}
+			aSlot, imm, err := addrOperands(s.Addr, regName)
+			if err != nil {
+				return out, err
+			}
+			op := alu.OpLoad
+			if s.Kind == StmtLoadd {
+				op = alu.OpLoadd
+			}
+			out[destSlot] = alu.Instr{Op: op, A: aSlot, Imm: imm}
+		case StmtStore:
+			dataSlot, err := fieldSlot(s.Dest)
+			if err != nil {
+				return out, err
+			}
+			aSlot, imm, err := addrOperands(s.Addr, s.Reg)
+			if err != nil {
+				return out, err
+			}
+			out[dataSlot] = alu.Instr{Op: alu.OpStore, A: aSlot, Imm: imm}
+		case StmtRecirculate:
+			return out, fmt.Errorf("%w: recirculate survived analysis", ErrStatic)
+		}
+	}
+	return out, nil
+}
+
+// lowerAssign lowers `dest = a [op b]` to one ALU instruction.
+func lowerAssign(s *Stmt, bind map[string]uint64,
+	fieldSlot func(FieldRef) (uint8, error), imm16 func(Operand) (uint16, error)) (alu.Instr, error) {
+
+	isField := func(o Operand) bool { return o.Kind == OpndField }
+
+	switch {
+	case s.Op == BinNone && isField(s.A):
+		// Copy: dest = src + 0.
+		slot, err := fieldSlot(s.A.Field)
+		if err != nil {
+			return alu.Instr{}, err
+		}
+		return alu.Instr{Op: alu.OpAddi, A: slot, Imm: 0}, nil
+	case s.Op == BinNone:
+		v, err := imm16(s.A)
+		if err != nil {
+			return alu.Instr{}, err
+		}
+		return alu.Instr{Op: alu.OpSet, A: alu.NoOperand, Imm: v}, nil
+	case isField(s.A) && isField(s.B):
+		aSlot, err := fieldSlot(s.A.Field)
+		if err != nil {
+			return alu.Instr{}, err
+		}
+		bSlot, err := fieldSlot(s.B.Field)
+		if err != nil {
+			return alu.Instr{}, err
+		}
+		op := alu.OpAdd
+		if s.Op == BinSub {
+			op = alu.OpSub
+		}
+		return alu.Instr{Op: op, A: aSlot, B: bSlot}, nil
+	case isField(s.A):
+		slot, err := fieldSlot(s.A.Field)
+		if err != nil {
+			return alu.Instr{}, err
+		}
+		v, err := imm16(s.B)
+		if err != nil {
+			return alu.Instr{}, err
+		}
+		op := alu.OpAddi
+		if s.Op == BinSub {
+			op = alu.OpSubi
+		}
+		return alu.Instr{Op: op, A: slot, Imm: v}, nil
+	case isField(s.B) && s.Op == BinAdd:
+		// const + field commutes.
+		slot, err := fieldSlot(s.B.Field)
+		if err != nil {
+			return alu.Instr{}, err
+		}
+		v, err := imm16(s.A)
+		if err != nil {
+			return alu.Instr{}, err
+		}
+		return alu.Instr{Op: alu.OpAddi, A: slot, Imm: v}, nil
+	default:
+		// const op const: fold.
+		av, err := imm16(s.A)
+		if err != nil {
+			return alu.Instr{}, err
+		}
+		bv, err := imm16(s.B)
+		if err != nil {
+			return alu.Instr{}, err
+		}
+		v := av + bv
+		if s.Op == BinSub {
+			v = av - bv
+		}
+		return alu.Instr{Op: alu.OpSet, A: alu.NoOperand, Imm: v}, nil
+	}
+}

@@ -1,0 +1,730 @@
+package compiler
+
+// parser consumes the token stream into a Module AST.
+type astParser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses module source text into an AST.
+func Parse(src string) (*Module, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &astParser{toks: toks}
+	return p.module()
+}
+
+func (p *astParser) cur() token  { return p.toks[p.pos] }
+func (p *astParser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *astParser) accept(text string) bool {
+	if p.cur().kind != tokEOF && p.cur().text == text {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *astParser) expect(text string) (token, error) {
+	t := p.cur()
+	if t.text != text || t.kind == tokEOF {
+		return t, errAt(t, "expected %q, found %v", text, t)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *astParser) ident() (token, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return t, errAt(t, "expected identifier, found %v", t)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *astParser) number() (token, error) {
+	t := p.cur()
+	if t.kind != tokNumber {
+		return t, errAt(t, "expected number, found %v", t)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *astParser) module() (*Module, error) {
+	m := &Module{}
+	if _, err := p.expect("module"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	m.Name = name.text
+	if _, err := p.expect(";"); err != nil {
+		return nil, err
+	}
+
+	for p.cur().kind != tokEOF {
+		t := p.cur()
+		switch t.text {
+		case "header":
+			h, err := p.header()
+			if err != nil {
+				return nil, err
+			}
+			m.Headers = append(m.Headers, h)
+		case "register":
+			r, err := p.register()
+			if err != nil {
+				return nil, err
+			}
+			m.Registers = append(m.Registers, r)
+		case "parser":
+			ex, err := p.parserBlock()
+			if err != nil {
+				return nil, err
+			}
+			m.Parser = append(m.Parser, ex...)
+		case "action":
+			a, err := p.action()
+			if err != nil {
+				return nil, err
+			}
+			m.Actions = append(m.Actions, a)
+		case "table":
+			tb, err := p.table()
+			if err != nil {
+				return nil, err
+			}
+			m.Tables = append(m.Tables, tb)
+		case "control":
+			cs, err := p.control()
+			if err != nil {
+				return nil, err
+			}
+			m.Control = append(m.Control, cs...)
+		default:
+			return nil, errAt(t, "expected declaration, found %v", t)
+		}
+	}
+	return m, nil
+}
+
+func (p *astParser) header() (*Header, error) {
+	kw, _ := p.expect("header")
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	h := &Header{Name: name.text, Line: kw.line}
+	for !p.accept("}") {
+		fn, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(":"); err != nil {
+			return nil, err
+		}
+		w, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		h.Fields = append(h.Fields, &Field{Name: fn.text, Width: int(w.num), Line: fn.line})
+	}
+	return h, nil
+}
+
+func (p *astParser) register() (*Register, error) {
+	kw, _ := p.expect("register")
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("["); err != nil {
+		return nil, err
+	}
+	n, err := p.number()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("]"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return &Register{Name: name.text, Words: int(n.num), Line: kw.line}, nil
+}
+
+func (p *astParser) parserBlock() ([]*Extract, error) {
+	if _, err := p.expect("parser"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	var out []*Extract
+	for !p.accept("}") {
+		kw, err := p.expect("extract")
+		if err != nil {
+			return nil, err
+		}
+		h, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect("at"); err != nil {
+			return nil, err
+		}
+		off, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		out = append(out, &Extract{Header: h.text, Offset: int(off.num), Line: kw.line})
+	}
+	return out, nil
+}
+
+// fieldRef parses HDR.FIELD.
+func (p *astParser) fieldRef() (FieldRef, error) {
+	h, err := p.ident()
+	if err != nil {
+		return FieldRef{}, err
+	}
+	if _, err := p.expect("."); err != nil {
+		return FieldRef{}, err
+	}
+	f, err := p.ident()
+	if err != nil {
+		return FieldRef{}, err
+	}
+	return FieldRef{Header: h.text, Field: f.text, Line: h.line}, nil
+}
+
+// operand parses FIELD | NUMBER | PARAM (bare identifier).
+func (p *astParser) operand(params map[string]bool) (Operand, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		p.pos++
+		return Operand{Kind: OpndConst, Value: t.num, Line: t.line}, nil
+	case tokIdent:
+		// FIELD if followed by '.', otherwise a parameter.
+		if p.pos+1 < len(p.toks) && p.toks[p.pos+1].text == "." {
+			fr, err := p.fieldRef()
+			if err != nil {
+				return Operand{}, err
+			}
+			return Operand{Kind: OpndField, Field: fr, Line: fr.Line}, nil
+		}
+		p.pos++
+		if params != nil && !params[t.text] {
+			return Operand{}, errAt(t, "unknown identifier %q (not a parameter; fields are written hdr.field)", t.text)
+		}
+		return Operand{Kind: OpndParam, Param: t.text, Line: t.line}, nil
+	}
+	return Operand{}, errAt(t, "expected operand, found %v", t)
+}
+
+func (p *astParser) action() (*Action, error) {
+	kw, _ := p.expect("action")
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	a := &Action{Name: name.text, Line: kw.line}
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	params := map[string]bool{}
+	for !p.accept(")") {
+		if len(a.Params) > 0 {
+			if _, err := p.expect(","); err != nil {
+				return nil, err
+			}
+		}
+		pn, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		a.Params = append(a.Params, pn.text)
+		params[pn.text] = true
+	}
+	if _, err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	for !p.accept("}") {
+		s, err := p.stmt(params)
+		if err != nil {
+			return nil, err
+		}
+		a.Body = append(a.Body, s)
+	}
+	return a, nil
+}
+
+// stmt parses one action statement.
+func (p *astParser) stmt(params map[string]bool) (*Stmt, error) {
+	t := p.cur()
+
+	// Platform calls.
+	switch t.text {
+	case "set_port":
+		p.pos++
+		if _, err := p.expect("("); err != nil {
+			return nil, err
+		}
+		op, err := p.operand(params)
+		if err != nil {
+			return nil, err
+		}
+		if op.Kind == OpndField {
+			return nil, errAt(t, "set_port takes a constant or parameter")
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: StmtSetPort, Port: op, Line: t.line}, nil
+	case "drop", "recirculate":
+		p.pos++
+		if _, err := p.expect("("); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		k := StmtDrop
+		if t.text == "recirculate" {
+			k = StmtRecirculate
+		}
+		return &Stmt{Kind: k, Line: t.line}, nil
+	}
+
+	// Either an assignment to a field (hdr.f = ...) or a store (reg[...] = f).
+	if t.kind != tokIdent {
+		return nil, errAt(t, "expected statement, found %v", t)
+	}
+	if p.pos+1 < len(p.toks) && p.toks[p.pos+1].text == "[" {
+		// Store: REG [ addr ] = FIELD ;
+		reg := p.next()
+		if _, err := p.expect("["); err != nil {
+			return nil, err
+		}
+		addr, err := p.addrExpr(params)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect("]"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect("="); err != nil {
+			return nil, err
+		}
+		src, err := p.fieldRef()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: StmtStore, Reg: reg.text, Addr: addr, Dest: src, Line: t.line}, nil
+	}
+
+	dest, err := p.fieldRef()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("="); err != nil {
+		return nil, err
+	}
+
+	// loadd(addr)
+	if p.cur().text == "loadd" {
+		p.pos++
+		if _, err := p.expect("("); err != nil {
+			return nil, err
+		}
+		addr, err := p.addrExpr(params)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: StmtLoadd, Dest: dest, Addr: addr, Line: t.line}, nil
+	}
+
+	// reg[addr] — a load, or with a trailing ++ the loadd fetch-and-add.
+	if p.cur().kind == tokIdent && p.pos+1 < len(p.toks) && p.toks[p.pos+1].text == "[" {
+		reg := p.next()
+		if _, err := p.expect("["); err != nil {
+			return nil, err
+		}
+		addr, err := p.addrExpr(params)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect("]"); err != nil {
+			return nil, err
+		}
+		kind := StmtLoad
+		if p.accept("++") {
+			kind = StmtLoadd
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: kind, Dest: dest, Reg: reg.text, Addr: addr, Line: t.line}, nil
+	}
+
+	// a [op b]
+	a, err := p.operand(params)
+	if err != nil {
+		return nil, err
+	}
+	s := &Stmt{Kind: StmtAssign, Dest: dest, A: a, Line: t.line}
+	if p.accept("+") {
+		s.Op = BinAdd
+	} else if p.accept("-") {
+		s.Op = BinSub
+	}
+	if s.Op != BinNone {
+		b, err := p.operand(params)
+		if err != nil {
+			return nil, err
+		}
+		s.B = b
+	}
+	if _, err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// addrExpr parses FIELD | CONST | FIELD + CONST.
+func (p *astParser) addrExpr(params map[string]bool) (AddrExpr, error) {
+	t := p.cur()
+	var a AddrExpr
+	a.Line = t.line
+	op, err := p.operand(params)
+	if err != nil {
+		return a, err
+	}
+	if op.Kind == OpndField {
+		a.HasField = true
+		a.Field = op.Field
+		if p.accept("+") {
+			c, err := p.operand(params)
+			if err != nil {
+				return a, err
+			}
+			if c.Kind == OpndField {
+				return a, errAt(t, "address may add at most one field and one constant")
+			}
+			a.Const = c
+		} else {
+			a.Const = Operand{Kind: OpndConst, Value: 0, Line: t.line}
+		}
+		return a, nil
+	}
+	a.Const = op
+	return a, nil
+}
+
+func (p *astParser) table() (*Table, error) {
+	kw, _ := p.expect("table")
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	tb := &Table{Name: name.text, Line: kw.line}
+	if _, err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	for !p.accept("}") {
+		t := p.cur()
+		switch t.text {
+		case "key":
+			p.pos++
+			if _, err := p.expect("="); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect("{"); err != nil {
+				return nil, err
+			}
+			for !p.accept("}") {
+				fr, err := p.fieldRef()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(";"); err != nil {
+					return nil, err
+				}
+				tb.Keys = append(tb.Keys, fr)
+			}
+		case "actions":
+			p.pos++
+			if _, err := p.expect("="); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect("{"); err != nil {
+				return nil, err
+			}
+			for !p.accept("}") {
+				an, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(";"); err != nil {
+					return nil, err
+				}
+				tb.Actions = append(tb.Actions, an.text)
+			}
+		case "size":
+			p.pos++
+			if _, err := p.expect("="); err != nil {
+				return nil, err
+			}
+			n, err := p.number()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(";"); err != nil {
+				return nil, err
+			}
+			tb.Size = int(n.num)
+		case "match":
+			p.pos++
+			if _, err := p.expect("="); err != nil {
+				return nil, err
+			}
+			kind, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			switch kind.text {
+			case "exact":
+				tb.Ternary = false
+			case "ternary":
+				tb.Ternary = true
+			default:
+				return nil, errAt(kind, "match kind must be exact or ternary, found %q", kind.text)
+			}
+			if _, err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		case "entries":
+			p.pos++
+			if _, err := p.expect("{"); err != nil {
+				return nil, err
+			}
+			for !p.accept("}") {
+				e, err := p.entry()
+				if err != nil {
+					return nil, err
+				}
+				tb.Entries = append(tb.Entries, e)
+			}
+		default:
+			return nil, errAt(t, "expected table property, found %v", t)
+		}
+	}
+	return tb, nil
+}
+
+// entry parses ( v, ... ) -> action ( arg, ... ) ;
+func (p *astParser) entry() (*Entry, error) {
+	open, err := p.expect("(")
+	if err != nil {
+		return nil, err
+	}
+	e := &Entry{Line: open.line}
+	for !p.accept(")") {
+		if len(e.KeyVals) > 0 {
+			if _, err := p.expect(","); err != nil {
+				return nil, err
+			}
+		}
+		n, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		e.KeyVals = append(e.KeyVals, n.num)
+		// Optional per-field ternary mask: VAL/MASK (Appendix B).
+		mask := ^uint64(0)
+		if p.accept("/") {
+			m, err := p.number()
+			if err != nil {
+				return nil, err
+			}
+			mask = m.num
+		}
+		e.KeyMasks = append(e.KeyMasks, mask)
+	}
+	if _, err := p.expect("->"); err != nil {
+		return nil, err
+	}
+	an, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	e.Action = an.text
+	if p.accept("(") {
+		for !p.accept(")") {
+			if len(e.Args) > 0 {
+				if _, err := p.expect(","); err != nil {
+					return nil, err
+				}
+			}
+			n, err := p.number()
+			if err != nil {
+				return nil, err
+			}
+			e.Args = append(e.Args, n.num)
+		}
+	}
+	if _, err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (p *astParser) control() ([]ControlStmt, error) {
+	if _, err := p.expect("control"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	var out []ControlStmt
+	for !p.accept("}") {
+		t := p.cur()
+		switch t.text {
+		case "apply":
+			tbl, err := p.applyStmt()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ControlStmt{Table: tbl, Line: t.line})
+		case "if":
+			cs, err := p.ifStmt()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, *cs)
+		default:
+			return nil, errAt(t, "expected apply or if, found %v", t)
+		}
+	}
+	return out, nil
+}
+
+func (p *astParser) applyStmt() (string, error) {
+	if _, err := p.expect("apply"); err != nil {
+		return "", err
+	}
+	if _, err := p.expect("("); err != nil {
+		return "", err
+	}
+	tbl, err := p.ident()
+	if err != nil {
+		return "", err
+	}
+	if _, err := p.expect(")"); err != nil {
+		return "", err
+	}
+	if _, err := p.expect(";"); err != nil {
+		return "", err
+	}
+	return tbl.text, nil
+}
+
+func (p *astParser) ifStmt() (*ControlStmt, error) {
+	kw, _ := p.expect("if")
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	a, err := p.fieldRef()
+	if err != nil {
+		return nil, err
+	}
+	opTok := p.next()
+	var op CmpOp
+	switch opTok.text {
+	case "==":
+		op = CmpEq
+	case "!=":
+		op = CmpNe
+	case "<":
+		op = CmpLt
+	case ">":
+		op = CmpGt
+	case "<=":
+		op = CmpLe
+	case ">=":
+		op = CmpGe
+	default:
+		return nil, errAt(opTok, "expected comparison operator, found %v", opTok)
+	}
+	b, err := p.operand(nil)
+	if err != nil {
+		return nil, err
+	}
+	if b.Kind == OpndParam {
+		return nil, errAt(opTok, "condition operand must be a field or constant")
+	}
+	if _, err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	thenTbl, err := p.applyStmt()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("}"); err != nil {
+		return nil, err
+	}
+	cs := &ControlStmt{
+		Table: thenTbl,
+		Cond:  &Condition{A: a, Op: op, B: b, Line: kw.line},
+		Line:  kw.line,
+	}
+	if p.accept("else") {
+		if _, err := p.expect("{"); err != nil {
+			return nil, err
+		}
+		elseTbl, err := p.applyStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect("}"); err != nil {
+			return nil, err
+		}
+		cs.ElseTable = elseTbl
+	}
+	return cs, nil
+}

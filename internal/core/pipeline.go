@@ -1,0 +1,451 @@
+// Package core implements the Menshen pipeline — the paper's primary
+// contribution: an RMT match-action pipeline extended with lightweight
+// isolation primitives (space partitioning and overlays) so that multiple
+// independently written packet-processing modules share one device without
+// interfering with each other.
+//
+// The pipeline (Figure 2) is: packet filter → programmable parser(s) →
+// five match-action stages → deparser(s) with packet buffers, plus a
+// separate daisy chain for secure reconfiguration.
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/alu"
+	"repro/internal/parser"
+	"repro/internal/phv"
+	"repro/internal/reconfig"
+	"repro/internal/stage"
+	"repro/internal/tables"
+)
+
+// NumStages is the number of programmable processing stages in the
+// prototype (§4.1).
+const NumStages = 5
+
+// Errors.
+var (
+	ErrModuleRange = errors.New("core: module ID out of supported range")
+	ErrBadCommand  = errors.New("core: malformed reconfiguration command")
+)
+
+// Options are the throughput-optimization knobs of §3.2. They change the
+// cycle accounting (and the parser/buffer assignment at the filter), not
+// the functional path.
+type Options struct {
+	// MaskRAMLatency sends the module ID ahead of the PHV so per-module
+	// configuration reads overlap PHV transfer (§3.2 optimization 1).
+	MaskRAMLatency bool
+	// NumParsers is the number of parallel parsers (2 in the optimized
+	// design).
+	NumParsers int
+	// NumDeparsers is the number of parallel deparsers, each with its own
+	// packet buffer (4 in the optimized design).
+	NumDeparsers int
+	// DeepPipelining splits elements into sub-elements (e.g. CAM lookup
+	// and action-RAM read), halving the per-element cycle occupancy
+	// (§3.2 optimization 3).
+	DeepPipelining bool
+}
+
+// Unoptimized returns the §3.1 base design: one parser, one deparser, no
+// latency masking, no deep pipelining.
+func Unoptimized() Options {
+	return Options{NumParsers: 1, NumDeparsers: 1}
+}
+
+// Optimized returns the §3.2 design: 2 parsers, 4 deparsers, RAM-latency
+// masking, deep pipelining.
+func Optimized() Options {
+	return Options{MaskRAMLatency: true, NumParsers: 2, NumDeparsers: 4, DeepPipelining: true}
+}
+
+// Geometry fixes the table depths of the pipeline.
+type Geometry struct {
+	// MaxModules bounds the number of loadable modules (overlay depth, 32
+	// in the prototype).
+	MaxModules int
+	// CAMDepth is the per-stage match/action table depth (16).
+	CAMDepth int
+	// MemoryWords is the per-stage stateful memory size (256).
+	MemoryWords int
+	// Stages is the number of match-action stages (5).
+	Stages int
+}
+
+// DefaultGeometry is the prototype geometry (Table 5).
+func DefaultGeometry() Geometry {
+	return Geometry{
+		MaxModules:  tables.OverlayDepth,
+		CAMDepth:    tables.CAMDepth,
+		MemoryWords: tables.MemoryWords,
+		Stages:      NumStages,
+	}
+}
+
+// ModuleStats counts per-module traffic for observability and the
+// system-level module's statistics service.
+type ModuleStats struct {
+	Packets atomic.Uint64
+	Bytes   atomic.Uint64
+	Drops   atomic.Uint64
+}
+
+// Pipeline is one Menshen pipeline instance.
+type Pipeline struct {
+	Geometry Geometry
+	Options  Options
+
+	Filter   *reconfig.Filter
+	Parser   *parser.Parser
+	Deparser *parser.Deparser
+	Stages   []*stage.Stage
+	Chain    *reconfig.DaisyChain
+
+	mu    sync.Mutex // serializes Process, like the ingress wire
+	stats map[uint16]*ModuleStats
+}
+
+// New returns a Menshen pipeline with the given geometry and options.
+func New(geo Geometry, opts Options) *Pipeline {
+	if opts.NumParsers < 1 {
+		opts.NumParsers = 1
+	}
+	if opts.NumDeparsers < 1 {
+		opts.NumDeparsers = 1
+	}
+	p := &Pipeline{
+		Geometry: geo,
+		Options:  opts,
+		Filter:   reconfig.NewFilter(false),
+		Parser:   parser.New(geo.MaxModules),
+		Deparser: parser.NewDeparser(geo.MaxModules),
+		Stages:   make([]*stage.Stage, geo.Stages),
+		stats:    make(map[uint16]*ModuleStats),
+	}
+	for i := range p.Stages {
+		p.Stages[i] = stage.New(stage.Config{
+			OverlayDepth: geo.MaxModules,
+			CAMDepth:     geo.CAMDepth,
+			MemoryWords:  geo.MemoryWords,
+		})
+	}
+	p.Chain = reconfig.NewDaisyChain(p)
+	return p
+}
+
+// NewDefault returns an optimized pipeline with the prototype geometry.
+func NewDefault() *Pipeline { return New(DefaultGeometry(), Optimized()) }
+
+// NewRMT returns the baseline RMT design used for comparison in §5: the
+// same pipeline restricted to a single module (overlay depth 1). It is
+// the "modified Menshen to support only one module" of the evaluation.
+func NewRMT(opts Options) *Pipeline {
+	geo := DefaultGeometry()
+	geo.MaxModules = 1
+	return New(geo, opts)
+}
+
+// checkModule validates a module ID against the pipeline geometry. The
+// prototype supports module IDs 0..MaxModules-1; the VLAN ID is used
+// directly as the overlay index.
+func (p *Pipeline) checkModule(moduleID uint16) error {
+	if int(moduleID) >= p.Geometry.MaxModules {
+		return fmt.Errorf("%w: module %d (max %d)", ErrModuleRange, moduleID, p.Geometry.MaxModules-1)
+	}
+	return nil
+}
+
+// StatsFor returns (creating if needed) the stats block for a module.
+func (p *Pipeline) StatsFor(moduleID uint16) *ModuleStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s, ok := p.stats[moduleID]
+	if !ok {
+		s = &ModuleStats{}
+		p.stats[moduleID] = s
+	}
+	return s
+}
+
+// Output is the result of processing one frame.
+type Output struct {
+	// Data is the (possibly modified) frame; nil when dropped.
+	Data []byte
+	// Dropped is true when the frame was discarded, with Verdict/Reason
+	// explaining why.
+	Dropped bool
+	Verdict reconfig.Verdict
+	// DiscardedByModule is true when a module action (not the filter)
+	// discarded the packet.
+	DiscardedByModule bool
+	// ModuleID is the packet's module (VLAN) ID.
+	ModuleID uint16
+	// EgressPort is the destination port chosen by the pipeline.
+	EgressPort uint8
+	// PHV is the final packet header vector (for tests and tracing).
+	PHV phv.PHV
+	// StageResults records per-stage activity.
+	StageResults []stage.Result
+	// BufferTag and ParserNum record the §3.2 round-robin assignment.
+	BufferTag uint8
+	ParserNum uint8
+}
+
+// Trace carries the element-level activity counts a platform model needs
+// for cycle accounting. The functional pipeline is platform-independent;
+// internal/netdev turns a Trace into cycles and nanoseconds.
+type Trace struct {
+	FrameBytes   int
+	ParsedFields int
+	ActiveStages int
+	CAMHits      int
+	MemOps       int
+}
+
+// Process pushes one frame through the pipeline. The returned Output owns
+// a fresh copy of the frame: like the hardware packet buffer, the input
+// is left untouched and the deparser writes modified headers into the
+// buffered copy.
+func (p *Pipeline) Process(data []byte, ingressPort uint8) (*Output, *Trace, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.processLocked(data, ingressPort)
+}
+
+func (p *Pipeline) processLocked(data []byte, ingressPort uint8) (*Output, *Trace, error) {
+	out := &Output{StageResults: make([]stage.Result, len(p.Stages))}
+	tr := &Trace{FrameBytes: len(data)}
+
+	cls := p.Filter.Classify(data, p.Options.NumParsers)
+	out.Verdict = cls.Verdict
+	out.ModuleID = cls.ModuleID
+	out.BufferTag = cls.BufferTag
+	out.ParserNum = cls.ParserNum
+	if cls.Verdict != reconfig.VerdictData {
+		out.Dropped = true
+		if s, ok := p.stats[cls.ModuleID]; ok && cls.Verdict == reconfig.VerdictDropUpdating {
+			s.Drops.Add(1)
+		}
+		return out, tr, nil
+	}
+	if err := p.checkModule(cls.ModuleID); err != nil {
+		out.Dropped = true
+		return out, tr, err
+	}
+
+	// Parse into a PHV. The PHV is zeroed inside Parse (isolation).
+	var v phv.PHV
+	if err := p.Parser.Parse(data, int(cls.ModuleID), &v); err != nil {
+		if errors.Is(err, parser.ErrNoConfig) {
+			// Unknown module: no parser entry installed. Drop.
+			out.Dropped = true
+			return out, tr, nil
+		}
+		return out, tr, err
+	}
+	v.ModuleID = cls.ModuleID
+	v.SetIngress(ingressPort)
+	v.SetBufferTag(cls.BufferTag)
+	if e, ok := p.Parser.Table().Lookup(int(cls.ModuleID)); ok {
+		tr.ParsedFields = e.ValidActions()
+	}
+
+	// Match-action stages.
+	for i, st := range p.Stages {
+		res, err := st.Process(&v)
+		out.StageResults[i] = res
+		if res.Active {
+			tr.ActiveStages++
+		}
+		if res.Hit {
+			tr.CAMHits++
+		}
+		tr.MemOps += res.MemOps
+		if err != nil {
+			return out, tr, fmt.Errorf("stage %d: %w", i, err)
+		}
+		if v.Discarded() {
+			break
+		}
+	}
+
+	stats := p.statsLocked(cls.ModuleID)
+	if v.Discarded() {
+		out.Dropped = true
+		out.DiscardedByModule = true
+		out.PHV = v
+		stats.Drops.Add(1)
+		return out, tr, nil
+	}
+
+	// Deparse into the packet buffer copy.
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	if err := p.Deparser.Deparse(buf, int(cls.ModuleID), &v); err != nil {
+		if !errors.Is(err, parser.ErrNoConfig) {
+			return out, tr, err
+		}
+		// A module may legitimately modify nothing; treat a missing
+		// deparser entry as "no writebacks".
+	}
+	out.Data = buf
+	out.EgressPort = v.Egress()
+	out.PHV = v
+	stats.Packets.Add(1)
+	stats.Bytes.Add(uint64(len(data)))
+	return out, tr, nil
+}
+
+func (p *Pipeline) statsLocked(moduleID uint16) *ModuleStats {
+	s, ok := p.stats[moduleID]
+	if !ok {
+		s = &ModuleStats{}
+		p.stats[moduleID] = s
+	}
+	return s
+}
+
+// --- Reconfiguration command application (reconfig.Sink) ---
+
+// Wire sizes of reconfiguration payloads per resource kind.
+const (
+	camEntryBytes   = 1 + 2 + tables.KeyBytes + tables.KeyBytes // valid, modID, key, mask
+	keyExtractBytes = 5                                         // 38 bits
+	segmentBytes    = 2
+)
+
+// EncodeCAMEntry packs a CAM entry for the reconfiguration payload.
+func EncodeCAMEntry(e tables.CAMEntry) []byte {
+	out := make([]byte, camEntryBytes)
+	if e.Valid {
+		out[0] = 1
+	}
+	binary.BigEndian.PutUint16(out[1:], e.ModID)
+	copy(out[3:], e.Key[:])
+	copy(out[3+tables.KeyBytes:], e.Mask[:])
+	return out
+}
+
+// DecodeCAMEntry unpacks a CAM entry from a reconfiguration payload.
+func DecodeCAMEntry(b []byte) (tables.CAMEntry, error) {
+	var e tables.CAMEntry
+	if len(b) < camEntryBytes {
+		return e, fmt.Errorf("%w: CAM entry needs %d bytes, have %d", ErrBadCommand, camEntryBytes, len(b))
+	}
+	e.Valid = b[0] != 0
+	e.ModID = binary.BigEndian.Uint16(b[1:])
+	copy(e.Key[:], b[3:])
+	copy(e.Mask[:], b[3+tables.KeyBytes:])
+	return e, nil
+}
+
+// EncodeKeyExtract packs a key-extractor entry (38 bits in 5 bytes).
+func EncodeKeyExtract(e stage.KeyExtractEntry) []byte {
+	v := e.Encode()
+	out := make([]byte, keyExtractBytes)
+	out[0] = byte(v >> 32)
+	binary.BigEndian.PutUint32(out[1:], uint32(v))
+	return out
+}
+
+// DecodeKeyExtract unpacks a key-extractor entry.
+func DecodeKeyExtract(b []byte) (stage.KeyExtractEntry, error) {
+	if len(b) < keyExtractBytes {
+		return stage.KeyExtractEntry{}, fmt.Errorf("%w: key extractor needs %d bytes, have %d",
+			ErrBadCommand, keyExtractBytes, len(b))
+	}
+	v := uint64(b[0])<<32 | uint64(binary.BigEndian.Uint32(b[1:]))
+	return stage.DecodeKeyExtractEntry(v), nil
+}
+
+// Apply implements reconfig.Sink: it routes one decoded configuration
+// command to the targeted table, exactly as the daisy chain delivers a
+// command to the element it addresses. Updating an entry touches only
+// that entry — the no-disruption property.
+func (p *Pipeline) Apply(cmd reconfig.Command) error {
+	kind := cmd.Resource.Kind()
+	if !kind.Stageless() {
+		if s := cmd.Resource.Stage(); s >= len(p.Stages) {
+			return fmt.Errorf("%w: stage %d (have %d)", ErrBadCommand, s, len(p.Stages))
+		}
+	}
+	idx := int(cmd.Index)
+	switch kind {
+	case reconfig.KindParser:
+		e, err := parser.DecodeEntry(cmd.Payload)
+		if err != nil {
+			return err
+		}
+		return p.Parser.Set(idx, e)
+	case reconfig.KindDeparser:
+		e, err := parser.DecodeEntry(cmd.Payload)
+		if err != nil {
+			return err
+		}
+		return p.Deparser.Set(idx, e)
+	case reconfig.KindKeyExtract:
+		e, err := DecodeKeyExtract(cmd.Payload)
+		if err != nil {
+			return err
+		}
+		if err := e.Validate(); err != nil {
+			return err
+		}
+		return p.Stages[cmd.Resource.Stage()].Extract.Set(idx, e)
+	case reconfig.KindKeyMask:
+		if len(cmd.Payload) < tables.KeyBytes {
+			return fmt.Errorf("%w: key mask needs %d bytes", ErrBadCommand, tables.KeyBytes)
+		}
+		var mask tables.Key
+		copy(mask[:], cmd.Payload)
+		return p.Stages[cmd.Resource.Stage()].Mask.Set(idx, mask)
+	case reconfig.KindCAM:
+		e, err := DecodeCAMEntry(cmd.Payload)
+		if err != nil {
+			return err
+		}
+		return p.Stages[cmd.Resource.Stage()].Match.Write(idx, e)
+	case reconfig.KindVLIW:
+		a, err := alu.DecodeAction(cmd.Payload)
+		if err != nil {
+			return err
+		}
+		return p.Stages[cmd.Resource.Stage()].Actions.Set(idx, a)
+	case reconfig.KindSegment:
+		if len(cmd.Payload) < segmentBytes {
+			return fmt.Errorf("%w: segment needs %d bytes", ErrBadCommand, segmentBytes)
+		}
+		return p.Stages[cmd.Resource.Stage()].Segments.Set(idx,
+			tables.Segment{Base: cmd.Payload[0], Range: cmd.Payload[1]})
+	}
+	return fmt.Errorf("%w: unknown resource kind %d", ErrBadCommand, kind)
+}
+
+// UnloadModule clears every resource owned by a module across the whole
+// pipeline (admission-control bookkeeping for re-use of the slot).
+func (p *Pipeline) UnloadModule(moduleID uint16) error {
+	if err := p.checkModule(moduleID); err != nil {
+		return err
+	}
+	idx := int(moduleID)
+	p.Filter.SetUpdating(moduleID, true)
+	defer p.Filter.SetUpdating(moduleID, false)
+	if err := p.Parser.Table().Clear(idx); err != nil {
+		return err
+	}
+	if err := p.Deparser.Table().Clear(idx); err != nil {
+		return err
+	}
+	for i, st := range p.Stages {
+		if err := st.ClearModule(idx); err != nil {
+			return fmt.Errorf("stage %d: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,402 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5 and Appendix A). Each experiment returns a Result whose
+// text rendering mirrors the corresponding figure's series or table rows,
+// plus structured data for programmatic checks.
+//
+// Experiment index (see DESIGN.md):
+//
+//	fig8    compilation time vs generated entries
+//	fig9    configuration time vs entries (incl. Tofino runtime)
+//	fig10   per-module throughput during reconfiguration
+//	table4  FPGA resource usage
+//	latency pipeline latency cycles/ns (§5.2)
+//	fig11   throughput/latency vs packet size, all platforms
+//	asic    ASIC area comparison (§5.2)
+//	fig12   daisy-chain vs AXI-Lite configuration time (Appendix A)
+//	packing how many modules fit (§5.2)
+//	isolation behavior isolation spot check (§5.1)
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/asic"
+	"repro/internal/baseline"
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/ctrlplane"
+	"repro/internal/fpga"
+	"repro/internal/netdev"
+	"repro/internal/p4progs"
+	"repro/internal/tables"
+	"repro/internal/trafficgen"
+)
+
+// Result is one regenerated artifact.
+type Result struct {
+	// ID is the experiment identifier (e.g. "fig8").
+	ID string
+	// Title names the paper artifact.
+	Title string
+	// Text is the rendered table/series.
+	Text string
+	// Notes records calibration/substitution caveats.
+	Notes string
+}
+
+// String implements fmt.Stringer.
+func (r Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s — %s ===\n%s", r.ID, r.Title, r.Text)
+	if r.Notes != "" {
+		fmt.Fprintf(&b, "note: %s\n", r.Notes)
+	}
+	return b.String()
+}
+
+// EntrySweep is the Figure 8/9 x-axis.
+var EntrySweep = []int{16, 64, 256, 1024}
+
+// sweepLimits raises the compiler's per-table entry budget for the
+// sweeps (the prototype overwrites entries to measure beyond the CAM
+// depth, paper footnote 5).
+func sweepLimits(entries int) compiler.Limits {
+	l := compiler.DefaultLimits()
+	if entries > l.EntriesPerTable {
+		l.EntriesPerTable = entries
+	}
+	return l
+}
+
+// Fig8 measures compilation time for every program at each entry count.
+func Fig8() Result {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s", "Program")
+	for _, n := range EntrySweep {
+		fmt.Fprintf(&b, "%12s", fmt.Sprintf("%d entries", n))
+	}
+	b.WriteString("\n")
+	for _, p := range append(append([]p4progs.Program{}, p4progs.Programs...), p4progs.SystemLevel) {
+		fmt.Fprintf(&b, "%-16s", p.Name)
+		for _, n := range EntrySweep {
+			src := p.WithSize(n)
+			// Repeat to get a stable reading.
+			const reps = 5
+			start := time.Now()
+			for i := 0; i < reps; i++ {
+				if _, err := compiler.Compile(src, compiler.Options{ModuleID: 1, Limits: sweepLimits(n)}); err != nil {
+					fmt.Fprintf(&b, "%12s", "ERR")
+					goto next
+				}
+			}
+			fmt.Fprintf(&b, "%12s", time.Since(start)/reps)
+		next:
+		}
+		b.WriteString("\n")
+	}
+	return Result{
+		ID:    "fig8",
+		Title: "Compilation time vs generated match-action entries",
+		Text:  b.String(),
+		Notes: "wall-clock of this Go compiler; the paper's C++ compiler takes seconds at 1024 entries — the shape (time grows with entries, roughly linearly) is the reproduced claim",
+	}
+}
+
+// Fig9Row is one configuration-time measurement.
+type Fig9Row struct {
+	Program string
+	Times   map[int]time.Duration
+}
+
+// Fig9 models hardware configuration time for every program and entry
+// count, plus the Tofino run-time API comparison.
+func Fig9() Result {
+	cost := ctrlplane.DefaultCostModel()
+	perEntry := cost.DaisyPacket + cost.SoftwarePerEntry
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s", "Program")
+	for _, n := range EntrySweep {
+		fmt.Fprintf(&b, "%12s", fmt.Sprintf("%d entries", n))
+	}
+	b.WriteString("\n")
+
+	progs := append(append([]p4progs.Program{}, p4progs.Programs...), p4progs.SystemLevel)
+	for _, p := range progs {
+		fmt.Fprintf(&b, "%-16s", p.Name)
+		for _, n := range EntrySweep {
+			prog, err := compiler.Compile(p.WithSize(n), compiler.Options{ModuleID: 1, Limits: sweepLimits(n)})
+			if err != nil {
+				fmt.Fprintf(&b, "%12s", "ERR")
+				continue
+			}
+			// Entries beyond the CAM depth overwrite earlier addresses
+			// (footnote 5); every entry still costs one reconfiguration
+			// packet, plus the fixed per-resource entries.
+			cmds := prog.EntriesGenerated*2 + 8
+			t := time.Duration(cmds) * perEntry
+			fmt.Fprintf(&b, "%12s", t.Round(time.Millisecond))
+		}
+		b.WriteString("\n")
+	}
+	tofino := baseline.NewTofino()
+	fmt.Fprintf(&b, "%-16s", "Tofino runtime")
+	for _, n := range EntrySweep {
+		fmt.Fprintf(&b, "%12s", tofino.InstallEntries(n).Round(time.Millisecond))
+	}
+	b.WriteString("\n")
+	return Result{
+		ID:    "fig9",
+		Title: "Configuration time vs entries (Menshen interface vs Tofino runtime API)",
+		Text:  b.String(),
+		Notes: "modeled with the calibrated control-path cost model (§ctrlplane); the reproduced claim is parity between Menshen's interface and Tofino's runtime API, both linear in entries",
+	}
+}
+
+// Fig10Point is one 100 ms bin of the reconfiguration timeline.
+type Fig10Point struct {
+	TimeSec float64
+	// Gbps per module (1, 2, 3).
+	Gbps [3]float64
+}
+
+// Fig10 simulates three CALC modules at a 5:3:2 rate split while module 1
+// is reconfigured at t=0.5 s, and the Tofino contrast where every module
+// drops for 50 ms.
+func Fig10() (Result, []Fig10Point) {
+	const (
+		duration   = 3.0
+		binSec     = 0.1
+		totalGbps  = 9.3
+		frameBytes = 1500
+		reconfigAt = 0.5
+	)
+	rates := [3]float64{totalGbps * 5 / 10, totalGbps * 3 / 10, totalGbps * 2 / 10}
+
+	// Reconfiguration window: full CALC module reload through the
+	// software-to-hardware interface.
+	cost := ctrlplane.DefaultCostModel()
+	prog, err := compiler.Compile(p4progs.Programs[0].Source(), compiler.Options{ModuleID: 1})
+	reconfigDur := 0.05
+	if err == nil {
+		cmds := prog.EntriesGenerated*2 + 8
+		reconfigDur = (time.Duration(cmds) * (cost.DaisyPacket + cost.SoftwarePerEntry)).Seconds()
+	}
+
+	bins := int(duration / binSec)
+	points := make([]Fig10Point, bins)
+	for bin := 0; bin < bins; bin++ {
+		t0 := float64(bin) * binSec
+		p := Fig10Point{TimeSec: t0}
+		for m := 0; m < 3; m++ {
+			rate := rates[m]
+			// Module 1 (index 0) drops while its bitmap bit is set.
+			if m == 0 {
+				lost := overlap(t0, t0+binSec, reconfigAt, reconfigAt+reconfigDur)
+				rate *= 1 - lost/binSec
+			}
+			p.Gbps[m] = rate
+		}
+		points[bin] = p
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8s %10s %10s %10s\n", "t(s)", "module1", "module2", "module3")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%8.1f %10.2f %10.2f %10.2f\n", p.TimeSec, p.Gbps[0], p.Gbps[1], p.Gbps[2])
+	}
+	fmt.Fprintf(&b, "\nreconfiguration window: %.0f ms starting at t=%.1fs (module 1 only)\n",
+		reconfigDur*1000, reconfigAt)
+	fmt.Fprintf(&b, "Tofino contrast: ANY module update -> all modules drop for %v (Fast Refresh)\n",
+		baseline.FastRefreshOutage)
+	return Result{
+		ID:    "fig10",
+		Title: "Throughput during reconfiguration (3 CALC modules, 5:3:2 of 9.3 Gbit/s)",
+		Text:  b.String(),
+		Notes: "modules 2 and 3 see zero impact; module 1 dips only during its own update",
+	}, points
+}
+
+func overlap(a0, a1, b0, b1 float64) float64 {
+	lo, hi := max(a0, b0), min(a1, b1)
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// Table4 renders the FPGA resource comparison: published rows plus the
+// structural model's estimates.
+func Table4() Result {
+	var b strings.Builder
+	b.WriteString("Published (paper Table 4):\n")
+	fmt.Fprintf(&b, "  %-28s %10s %10s\n", "Design", "Slice LUTs", "Block RAMs")
+	for _, row := range fpga.Published {
+		fmt.Fprintf(&b, "  %-28s %10d %10.1f\n", row.Design, row.LUTs, row.BRAMs)
+	}
+	b.WriteString("\nStructural model estimates:\n")
+	for _, pf := range []struct {
+		name  string
+		build func(bool) fpga.Config
+	}{
+		{"NetFPGA", fpga.NetFPGAConfig},
+		{"Corundum", fpga.CorundumConfig},
+	} {
+		rmt := pf.build(false).Estimate()
+		men := pf.build(true).Estimate()
+		lutPct, bramDelta := fpga.Delta(pf.build)
+		fmt.Fprintf(&b, "  %-10s RMT %7d LUTs / %5.1f BRAM; Menshen %7d LUTs / %5.1f BRAM (+%.3f%% LUTs, %+0.f BRAM)\n",
+			pf.name, rmt.LUTs, rmt.BRAMs, men.LUTs, men.BRAMs, lutPct, bramDelta)
+	}
+	return Result{
+		ID:    "table4",
+		Title: "FPGA resources of the 5-stage Menshen pipeline",
+		Text:  b.String(),
+		Notes: "reproduced shape: Menshen ≈ RMT + <1% LUTs, identical BRAMs; both ≫ the reference designs",
+	}
+}
+
+// Latency renders the §5.2 latency numbers.
+func Latency() Result {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-26s %8s %10s %10s\n", "Platform", "size(B)", "cycles", "latency")
+	for _, p := range []netdev.Platform{netdev.NetFPGA(), netdev.CorundumOptimized()} {
+		for _, size := range []int{64, 1500} {
+			fmt.Fprintf(&b, "%-26s %8d %10d %9.1fns\n",
+				p.Name, size, p.LatencyCycles(size), p.LatencyNs(size))
+		}
+	}
+	return Result{
+		ID:    "latency",
+		Title: "Pipeline latency (§5.2: 79/106 cycles at 64 B; ~960/516 ns at MTU)",
+		Text:  b.String(),
+	}
+}
+
+// Fig11 renders all four throughput/latency panels.
+func Fig11() Result {
+	var b strings.Builder
+	panel := func(title string, p netdev.Platform, sizes []int) {
+		fmt.Fprintf(&b, "%s:\n", title)
+		fmt.Fprintf(&b, "  %8s %10s %10s %10s\n", "size(B)", "L1(Gbps)", "L2(Gbps)", "Mpps")
+		for _, s := range sizes {
+			tp := p.ThroughputAt(s)
+			fmt.Fprintf(&b, "  %8d %10.2f %10.2f %10.2f\n", s, tp.L1Gbps, tp.L2Gbps, tp.Mpps)
+		}
+	}
+	panel("(a) Optimized NetFPGA", netdev.NetFPGA(), trafficgen.NetFPGASizes)
+	panel("(b) Optimized Corundum", netdev.CorundumOptimized(), trafficgen.CorundumSizes)
+	panel("(c) Unoptimized Corundum", netdev.CorundumUnoptimized(), trafficgen.CorundumSizes)
+
+	co := netdev.CorundumOptimized()
+	fmt.Fprintf(&b, "(d) Optimized Corundum latency at full rate:\n")
+	fmt.Fprintf(&b, "  %8s %12s\n", "size(B)", "latency(us)")
+	for _, s := range trafficgen.CorundumSizes {
+		fmt.Fprintf(&b, "  %8d %12.2f\n", s, co.FullRateLatencyUs(s))
+	}
+	return Result{
+		ID:    "fig11",
+		Title: "Performance benchmarks (throughput and latency vs packet size)",
+		Text:  b.String(),
+		Notes: "reproduced shape: NetFPGA saturates 10G; optimized Corundum reaches 100G at 256 B; unoptimized caps near 80G at MTU; full-rate latency ~1.0-1.25 µs",
+	}
+}
+
+// ASIC renders the §5.2 ASIC comparison.
+func ASIC() Result {
+	rep := asic.Analyze()
+	var b strings.Builder
+	for _, o := range []asic.Overhead{rep.Parser, rep.Deparser, rep.Stage, rep.Pipeline} {
+		fmt.Fprintf(&b, "%s\n", o)
+	}
+	fmt.Fprintf(&b, "chip-area overhead (pipeline share ≤50%% of die): %.1f%%\n", rep.ChipOverheadPercent)
+	fmt.Fprintf(&b, "meets timing at 1 GHz: %v\n", rep.MeetsTimingAt1GHz)
+	return Result{
+		ID:    "asic",
+		Title: "ASIC feasibility (FreePDK45-style area model)",
+		Text:  b.String(),
+		Notes: "paper: +18.5% parser, +7% deparser, +20.9% stage, +11.4% pipeline (9.71→10.81 mm²), ≈5.7% chip",
+	}
+}
+
+// Fig12 renders the Appendix A configuration-time comparison: pure
+// hardware write path, daisy chain vs AXI-Lite.
+func Fig12() Result {
+	cost := ctrlplane.DefaultCostModel()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %14s %14s\n", "Resource (per stage)", "AXI-L (est.)", "daisy chain")
+	for s := 0; s < core.NumStages; s++ {
+		vliwAXIL := time.Duration(tables.CAMDepth*ctrlplane.VLIWEntryWrites) * cost.AXILWrite
+		vliwDaisy := time.Duration(tables.CAMDepth) * cost.DaisyPacket
+		camAXIL := time.Duration(tables.CAMDepth*ctrlplane.CAMEntryWrites) * cost.AXILWrite
+		camDaisy := time.Duration(tables.CAMDepth) * cost.DaisyPacket
+		fmt.Fprintf(&b, "stage %d VLIW table       %14s %14s\n", s, vliwAXIL, vliwDaisy)
+		fmt.Fprintf(&b, "stage %d CAM              %14s %14s\n", s, camAXIL, camDaisy)
+	}
+	return Result{
+		ID:    "fig12",
+		Title: "Daisy-chain vs AXI-Lite configuration time (Appendix A)",
+		Text:  b.String(),
+		Notes: "one AXI-L write carries 32 bits: a 625-bit VLIW entry needs 20 writes, a 205-bit CAM entry 7; the daisy chain delivers an entry per packet",
+	}
+}
+
+// Packing reports how many modules fit the prototype (§5.2).
+func Packing() Result {
+	var b strings.Builder
+	fmt.Fprintf(&b, "overlay depth (hard bound on modules): %d\n", tables.OverlayDepth)
+	fmt.Fprintf(&b, "match entries per stage: %d\n", tables.CAMDepth)
+	fmt.Fprintf(&b, "-> if every module needs one entry per stage, at most %d modules fit\n", tables.CAMDepth)
+	fmt.Fprintf(&b, "(the system-level module takes one first-stage and one last-stage entry per tenant,\n")
+	fmt.Fprintf(&b, " so the prototype packs %d single-entry tenants before the stage-0 CAM fills)\n", tables.CAMDepth)
+	return Result{
+		ID:    "packing",
+		Title: "How many modules can be packed? (§5.2)",
+		Text:  b.String(),
+		Notes: "bounds are a function of table depths; larger hardware budgets raise them proportionally",
+	}
+}
+
+// All runs every experiment in a stable order.
+func All() []Result {
+	fig10, _ := Fig10()
+	results := []Result{
+		Fig8(), Fig9(), fig10, Table4(), Latency(), Fig11(), ASIC(), Fig12(), Packing(), Ablation(),
+	}
+	return results
+}
+
+// ByID runs one experiment.
+func ByID(id string) (Result, error) {
+	switch strings.ToLower(id) {
+	case "fig8":
+		return Fig8(), nil
+	case "fig9":
+		return Fig9(), nil
+	case "fig10":
+		r, _ := Fig10()
+		return r, nil
+	case "table4":
+		return Table4(), nil
+	case "latency":
+		return Latency(), nil
+	case "fig11":
+		return Fig11(), nil
+	case "asic":
+		return ASIC(), nil
+	case "fig12":
+		return Fig12(), nil
+	case "packing":
+		return Packing(), nil
+	case "ablation":
+		return Ablation(), nil
+	}
+	return Result{}, fmt.Errorf("experiments: unknown id %q (want fig8|fig9|fig10|fig11|fig12|table4|latency|asic|packing|ablation)", id)
+}
+
+// IDs lists the experiment identifiers.
+func IDs() []string {
+	return []string{"fig8", "fig9", "fig10", "table4", "latency", "fig11", "asic", "fig12", "packing", "ablation"}
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAllExperimentsRun(t *testing.T) {
+	results := All()
+	if len(results) != len(IDs()) {
+		t.Fatalf("All returned %d results for %d IDs", len(results), len(IDs()))
+	}
+	for _, r := range results {
+		if r.Text == "" {
+			t.Errorf("%s produced no output", r.ID)
+		}
+		if !strings.Contains(r.String(), r.Title) {
+			t.Errorf("%s String() missing title", r.ID)
+		}
+	}
+}
+
+func TestByIDCoversEveryID(t *testing.T) {
+	for _, id := range IDs() {
+		r, err := ByID(id)
+		if err != nil {
+			t.Errorf("ByID(%s): %v", id, err)
+		}
+		if r.ID != id {
+			t.Errorf("ByID(%s).ID = %s", id, r.ID)
+		}
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("unknown ID accepted")
+	}
+}
+
+func TestFig10ModulesTwoAndThreeUnaffected(t *testing.T) {
+	_, points := Fig10()
+	if len(points) == 0 {
+		t.Fatal("no timeline points")
+	}
+	var dipped bool
+	for _, p := range points {
+		// Modules 2 and 3 must hold their exact rates in every bin.
+		if p.Gbps[1] != 9.3*0.3 || p.Gbps[2] != 9.3*0.2 {
+			t.Fatalf("modules 2/3 disturbed at t=%.1f: %+v", p.TimeSec, p.Gbps)
+		}
+		if p.Gbps[0] < 9.3*0.5-0.001 {
+			dipped = true
+			if p.TimeSec < 0.4 || p.TimeSec > 0.7 {
+				t.Errorf("module 1 dipped outside its update window: t=%.1f", p.TimeSec)
+			}
+		}
+	}
+	if !dipped {
+		t.Error("module 1 never dipped; the reconfiguration window is invisible")
+	}
+}
+
+func TestFig9TofinoParity(t *testing.T) {
+	r := Fig9()
+	if !strings.Contains(r.Text, "Tofino runtime") {
+		t.Error("Figure 9 missing the Tofino comparison row")
+	}
+}
+
+func TestFig11ContainsAllPanels(t *testing.T) {
+	r := Fig11()
+	for _, panel := range []string{"(a)", "(b)", "(c)", "(d)"} {
+		if !strings.Contains(r.Text, panel) {
+			t.Errorf("Figure 11 missing panel %s", panel)
+		}
+	}
+}
+
+func TestEntrySweepMatchesPaper(t *testing.T) {
+	want := []int{16, 64, 256, 1024}
+	for i, n := range want {
+		if EntrySweep[i] != n {
+			t.Fatalf("EntrySweep = %v", EntrySweep)
+		}
+	}
+}
+
+func TestSweepLimitsRaisesBudget(t *testing.T) {
+	l := sweepLimits(1024)
+	if l.EntriesPerTable != 1024 {
+		t.Errorf("EntriesPerTable = %d", l.EntriesPerTable)
+	}
+	l = sweepLimits(4)
+	if l.EntriesPerTable < 4 {
+		t.Errorf("small sweep shrank the default budget: %d", l.EntriesPerTable)
+	}
+}
+
+func TestOverlapHelper(t *testing.T) {
+	cases := []struct {
+		a0, a1, b0, b1, want float64
+	}{
+		{0, 1, 2, 3, 0},
+		{0, 2, 1, 3, 1},
+		{0, 3, 1, 2, 1},
+		{1, 2, 0, 3, 1},
+		{2, 3, 0, 1, 0},
+	}
+	for _, tc := range cases {
+		if got := overlap(tc.a0, tc.a1, tc.b0, tc.b1); got != tc.want {
+			t.Errorf("overlap(%v,%v,%v,%v) = %v, want %v", tc.a0, tc.a1, tc.b0, tc.b1, got, tc.want)
+		}
+	}
+}
+
+func TestFig8CompletesQuickly(t *testing.T) {
+	start := time.Now()
+	_ = Fig8()
+	if d := time.Since(start); d > 30*time.Second {
+		t.Errorf("Fig8 took %v", d)
+	}
+}

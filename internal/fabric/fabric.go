@@ -1,0 +1,190 @@
+// Package fabric wires multiple Menshen pipelines into a small network,
+// the setting several of the paper's arguments live in: a tenant's module
+// can be "spread across multiple programmable devices" (§3.4 — the reason
+// modules must not rewrite their VID), virtual IPs are scoped per tenant
+// across the fabric (§3.3), and the control plane checks that a module's
+// routing tables are loop-free across devices before loading them (§3.4).
+//
+// The fabric is a directed port graph: (device, egress port) either ends
+// at a host or enters another device at some ingress port. Forwarding a
+// frame walks the graph through each pipeline's full data path, bounded
+// by a TTL so even a misconfigured fabric terminates.
+package fabric
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/packet"
+	"repro/internal/sysmod"
+)
+
+// Errors.
+var (
+	ErrUnknownDevice = errors.New("fabric: unknown device")
+	ErrTTLExceeded   = errors.New("fabric: forwarding loop (TTL exceeded)")
+)
+
+// MaxHops bounds a frame's walk through the fabric.
+const MaxHops = 16
+
+// Node is one Menshen device in the fabric, with its system-module
+// configuration and traffic manager.
+type Node struct {
+	Name string
+	Pipe *core.Pipeline
+	Sys  *sysmod.Config
+	TM   *sysmod.TrafficManager
+}
+
+// endpoint is the far side of a directed link.
+type endpoint struct {
+	device  string
+	ingress uint8
+}
+
+// Fabric is the device graph.
+type Fabric struct {
+	nodes map[string]*Node
+	// links maps (device, egress port) -> next hop. Ports without links
+	// deliver to a host (terminal).
+	links map[string]map[uint8]endpoint
+}
+
+// New returns an empty fabric.
+func New() *Fabric {
+	return &Fabric{
+		nodes: make(map[string]*Node),
+		links: make(map[string]map[uint8]endpoint),
+	}
+}
+
+// AddDevice registers a pipeline under a name.
+func (f *Fabric) AddDevice(name string, pipe *core.Pipeline, sys *sysmod.Config) *Node {
+	n := &Node{Name: name, Pipe: pipe, Sys: sys, TM: sysmod.NewTrafficManager(sys)}
+	f.nodes[name] = n
+	return n
+}
+
+// Node returns a registered device.
+func (f *Fabric) Node(name string) (*Node, error) {
+	n, ok := f.nodes[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDevice, name)
+	}
+	return n, nil
+}
+
+// Link connects (from, egress) to (to, ingress). Links are directed; add
+// both directions for a full-duplex cable.
+func (f *Fabric) Link(from string, egress uint8, to string, ingress uint8) error {
+	if _, ok := f.nodes[from]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownDevice, from)
+	}
+	if _, ok := f.nodes[to]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownDevice, to)
+	}
+	if f.links[from] == nil {
+		f.links[from] = make(map[uint8]endpoint)
+	}
+	f.links[from][egress] = endpoint{device: to, ingress: ingress}
+	return nil
+}
+
+// Delivery is one frame arriving at a terminal (host-facing) port.
+type Delivery struct {
+	Device string
+	Port   uint8
+	Frame  []byte
+	Hops   int
+}
+
+// Trace records one device traversal.
+type Trace struct {
+	Device  string
+	Ingress uint8
+	Egress  []uint8
+	Dropped bool
+	Reason  string
+}
+
+// Inject pushes a frame into the fabric at (device, ingress) and walks it
+// until every copy reaches a terminal port or is dropped. Multicast
+// replication fans out at each traffic manager.
+func (f *Fabric) Inject(device string, ingress uint8, frame []byte) ([]Delivery, []Trace, error) {
+	type work struct {
+		device  string
+		ingress uint8
+		frame   []byte
+		hops    int
+	}
+	queue := []work{{device, ingress, frame, 0}}
+	var out []Delivery
+	var traces []Trace
+
+	for len(queue) > 0 {
+		w := queue[0]
+		queue = queue[1:]
+		if w.hops >= MaxHops {
+			return out, traces, fmt.Errorf("%w: frame still in flight after %d devices", ErrTTLExceeded, MaxHops)
+		}
+		n, ok := f.nodes[w.device]
+		if !ok {
+			return out, traces, fmt.Errorf("%w: %q", ErrUnknownDevice, w.device)
+		}
+		res, _, err := n.Pipe.Process(w.frame, w.ingress)
+		if err != nil {
+			return out, traces, fmt.Errorf("device %s: %w", w.device, err)
+		}
+		tr := Trace{Device: w.device, Ingress: w.ingress}
+		if res.Dropped {
+			tr.Dropped = true
+			tr.Reason = res.Verdict.String()
+			traces = append(traces, tr)
+			continue
+		}
+		for _, port := range n.TM.Expand(res.EgressPort) {
+			tr.Egress = append(tr.Egress, port)
+			if ep, linked := f.links[w.device][port]; linked {
+				queue = append(queue, work{ep.device, ep.ingress, res.Data, w.hops + 1})
+			} else {
+				out = append(out, Delivery{Device: w.device, Port: port, Frame: res.Data, Hops: w.hops})
+			}
+		}
+		traces = append(traces, tr)
+	}
+	return out, traces, nil
+}
+
+// RouteHop mirrors checker.Hop for route collection.
+type RouteHop struct {
+	Dev  string
+	VIP  uint32
+	Next string
+}
+
+// ModuleRouteGraph collects a module's inter-device forwarding graph from
+// the system modules' routes and the fabric's links, the input to the
+// control-plane loop-freedom check (§3.4).
+func (f *Fabric) ModuleRouteGraph(moduleID uint16) []RouteHop {
+	var hops []RouteHop
+	for name, n := range f.nodes {
+		for _, r := range n.Sys.Routes[moduleID] {
+			ep, linked := f.links[name][r.Port]
+			if !linked {
+				continue // local delivery: chain terminates
+			}
+			hops = append(hops, RouteHop{
+				Dev:  name,
+				VIP:  binaryAddr(r.VIP),
+				Next: ep.device,
+			})
+		}
+	}
+	return hops
+}
+
+func binaryAddr(a packet.IPv4Addr) uint32 {
+	return uint32(a[0])<<24 | uint32(a[1])<<16 | uint32(a[2])<<8 | uint32(a[3])
+}

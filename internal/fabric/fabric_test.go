@@ -1,0 +1,206 @@
+package fabric
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/checker"
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/ctrlplane"
+	"repro/internal/packet"
+	"repro/internal/sysmod"
+	"repro/internal/trafficgen"
+)
+
+// passthroughModule forwards its packets untouched (the system module
+// does the routing).
+const passthroughSrc = `
+module pass;
+header sr_h { tag : 16; }
+parser { extract sr_h at 46; }
+action nop_a() { }
+table t { actions = { nop_a; } size = 1; }
+control { apply(t); }
+`
+
+// loadTenant compiles and loads the passthrough module on a node.
+func loadTenant(t *testing.T, n *Node, moduleID uint16) {
+	t.Helper()
+	prog, err := compiler.Compile(passthroughSrc, compiler.Options{ModuleID: moduleID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Sys.Augment(prog.Config); err != nil {
+		t.Fatal(err)
+	}
+	alloc := checker.NewAllocator(checker.CapacityOf(n.Pipe.Geometry), nil)
+	pl, err := alloc.Admit(prog.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctrlplane.New(n.Pipe).LoadModule(prog.Config, pl); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// twoSwitchFabric builds s1 --(port1 -> port0)--> s2 with tenant 1 loaded
+// on both and a vIP routed across.
+func twoSwitchFabric(t *testing.T) (*Fabric, packet.IPv4Addr) {
+	t.Helper()
+	f := New()
+	vip := packet.IPv4Addr{10, 9, 9, 9}
+
+	sys1 := sysmod.NewConfig()
+	sys1.AddRoute(1, vip, 1) // s1: vip -> port 1 (link to s2)
+	s1 := f.AddDevice("s1", core.NewDefault(), sys1)
+
+	sys2 := sysmod.NewConfig()
+	sys2.AddRoute(1, vip, 2) // s2: vip -> port 2 (host)
+	s2 := f.AddDevice("s2", core.NewDefault(), sys2)
+
+	if err := f.Link("s1", 1, "s2", 0); err != nil {
+		t.Fatal(err)
+	}
+	loadTenant(t, s1, 1)
+	loadTenant(t, s2, 1)
+	return f, vip
+}
+
+func TestForwardAcrossDevices(t *testing.T) {
+	f, vip := twoSwitchFabric(t)
+	frame := trafficgen.FlowPacket(1, [4]byte{10, 0, 0, 1}, vip, 1000, 2000, 0)
+	deliveries, traces, err := f.Inject("s1", 0, frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deliveries) != 1 {
+		t.Fatalf("deliveries = %+v", deliveries)
+	}
+	d := deliveries[0]
+	if d.Device != "s2" || d.Port != 2 || d.Hops != 1 {
+		t.Errorf("delivery = %+v", d)
+	}
+	if len(traces) != 2 {
+		t.Errorf("traces = %+v", traces)
+	}
+}
+
+func TestVIDSurvivesAcrossDevices(t *testing.T) {
+	// §3.4: the VID must be unchanged on the wire between devices, or
+	// module A's packets could hit module B's tables downstream. Verify
+	// the frame delivered at s2 still carries VLAN ID 1.
+	f, vip := twoSwitchFabric(t)
+	frame := trafficgen.FlowPacket(1, [4]byte{10, 0, 0, 1}, vip, 1000, 2000, 0)
+	deliveries, _, err := f.Inject("s1", 0, frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p packet.Packet
+	if err := packet.Decode(deliveries[0].Frame, &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.ModuleID() != 1 {
+		t.Errorf("VID changed in flight: %d", p.ModuleID())
+	}
+}
+
+func TestUnknownModuleDropsAtFirstDevice(t *testing.T) {
+	f, vip := twoSwitchFabric(t)
+	frame := trafficgen.FlowPacket(7, [4]byte{10, 0, 0, 1}, vip, 1000, 2000, 0)
+	deliveries, traces, err := f.Inject("s1", 0, frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deliveries) != 0 {
+		t.Errorf("deliveries = %+v", deliveries)
+	}
+	if len(traces) != 1 || !traces[0].Dropped {
+		t.Errorf("traces = %+v", traces)
+	}
+}
+
+func TestRoutingLoopDetectedByControlPlane(t *testing.T) {
+	// Misconfigure: s1 routes the vip to s2, s2 routes it back to s1.
+	f := New()
+	vip := packet.IPv4Addr{10, 9, 9, 9}
+	sys1 := sysmod.NewConfig()
+	sys1.AddRoute(1, vip, 1)
+	s1 := f.AddDevice("s1", core.NewDefault(), sys1)
+	sys2 := sysmod.NewConfig()
+	sys2.AddRoute(1, vip, 1)
+	s2 := f.AddDevice("s2", core.NewDefault(), sys2)
+	if err := f.Link("s1", 1, "s2", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Link("s2", 1, "s1", 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// The §3.4 control-plane check catches it before loading.
+	var hops []checker.Hop
+	for _, h := range f.ModuleRouteGraph(1) {
+		hops = append(hops, checker.Hop{Dev: h.Dev, VIP: h.VIP, Next: h.Next})
+	}
+	if err := checker.CheckLoopFree(hops); !errors.Is(err, checker.ErrRouteLoop) {
+		t.Fatalf("loop not detected: %v", err)
+	}
+
+	// And if an operator loads it anyway, the TTL bound terminates the
+	// walk instead of looping forever.
+	loadTenant(t, s1, 1)
+	loadTenant(t, s2, 1)
+	frame := trafficgen.FlowPacket(1, [4]byte{10, 0, 0, 1}, vip, 1000, 2000, 0)
+	_, _, err := f.Inject("s1", 0, frame)
+	if !errors.Is(err, ErrTTLExceeded) {
+		t.Fatalf("err = %v, want ErrTTLExceeded", err)
+	}
+}
+
+func TestMulticastFansOutAcrossFabric(t *testing.T) {
+	f := New()
+	vip := packet.IPv4Addr{224, 0, 0, 9}
+	sys1 := sysmod.NewConfig()
+	sys1.AddRoute(1, vip, 200) // group port
+	sys1.AddMulticastGroup(200, []uint8{1, 3})
+	s1 := f.AddDevice("s1", core.NewDefault(), sys1)
+	sys2 := sysmod.NewConfig()
+	sys2.AddRoute(1, vip, 5)
+	s2 := f.AddDevice("s2", core.NewDefault(), sys2)
+	if err := f.Link("s1", 1, "s2", 0); err != nil {
+		t.Fatal(err)
+	}
+	loadTenant(t, s1, 1)
+	loadTenant(t, s2, 1)
+
+	frame := trafficgen.FlowPacket(1, [4]byte{10, 0, 0, 1}, vip, 1, 2, 0)
+	deliveries, _, err := f.Inject("s1", 0, frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One copy to the local host port 3, one across the link delivered at
+	// s2 port 5.
+	if len(deliveries) != 2 {
+		t.Fatalf("deliveries = %+v", deliveries)
+	}
+	seen := map[string]uint8{}
+	for _, d := range deliveries {
+		seen[d.Device] = d.Port
+	}
+	if seen["s1"] != 3 || seen["s2"] != 5 {
+		t.Errorf("deliveries = %+v", deliveries)
+	}
+}
+
+func TestFabricErrors(t *testing.T) {
+	f := New()
+	if err := f.Link("a", 0, "b", 0); !errors.Is(err, ErrUnknownDevice) {
+		t.Errorf("link unknown: %v", err)
+	}
+	if _, err := f.Node("a"); !errors.Is(err, ErrUnknownDevice) {
+		t.Errorf("node unknown: %v", err)
+	}
+	if _, _, err := f.Inject("a", 0, nil); !errors.Is(err, ErrUnknownDevice) {
+		t.Errorf("inject unknown: %v", err)
+	}
+}

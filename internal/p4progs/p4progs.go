@@ -1,0 +1,403 @@
+// Package p4progs holds the eight evaluated modules of the paper (Table
+// 3) — CALC, Firewall, Load Balancing, QoS, Source Routing, NetCache,
+// NetChain, and Multicast — plus the standalone system-level program,
+// written in the Menshen module language.
+//
+// NetCache and NetChain are the simplified versions the paper evaluates
+// (no hot-key tagging). Each program's primary table carries a {{SIZE}}
+// placeholder so the Figure 8/9 sweeps can vary the number of generated
+// match-action entries.
+package p4progs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Program is one evaluated module.
+type Program struct {
+	// Name matches Table 3.
+	Name string
+	// Description matches Table 3's description column.
+	Description string
+	// template is the source with a {{SIZE}} placeholder on the primary
+	// table.
+	template string
+	// DefaultSize is the primary-table entry count used when none is
+	// requested.
+	DefaultSize int
+}
+
+// Source returns the program text with its default table size.
+func (p Program) Source() string { return p.WithSize(p.DefaultSize) }
+
+// WithSize returns the program text with the primary table sized to n
+// entries (the compiler generates distinct filler entries up to n).
+func (p Program) WithSize(n int) string {
+	return strings.ReplaceAll(p.template, "{{SIZE}}", strconv.Itoa(n))
+}
+
+// Programs are the evaluated use cases, in Table 3 order.
+var Programs = []Program{
+	{
+		Name:        "CALC",
+		Description: "return value based on parsed opcode and operands",
+		DefaultSize: 4,
+		template: `
+module calc;
+
+// The CALC header rides in the UDP payload (offset 46 = Eth+VLAN+IP+UDP).
+header calc_h {
+    op     : 16;
+    opa    : 32;
+    opb    : 32;
+    result : 32;
+}
+
+parser { extract calc_h at 46; }
+
+action do_add()  { calc_h.result = calc_h.opa + calc_h.opb; }
+action do_sub()  { calc_h.result = calc_h.opa - calc_h.opb; }
+action do_echo() { calc_h.result = calc_h.opa; }
+
+table ops {
+    key     = { calc_h.op; }
+    actions = { do_echo; do_add; do_sub; }
+    size    = {{SIZE}};
+    entries {
+        (1) -> do_add;
+        (2) -> do_sub;
+        (3) -> do_echo;
+    }
+}
+
+control { apply(ops); }
+`,
+	},
+	{
+		Name:        "Firewall",
+		Description: "stateless firewall that blocks certain traffic",
+		DefaultSize: 4,
+		template: `
+module firewall;
+
+header ip_h {
+    srcip : 32;
+    dstip : 32;
+}
+header l4_h {
+    sport : 16;
+    dport : 16;
+}
+
+parser {
+    extract ip_h at 30;   // IPv4 src/dst in the VLAN-tagged frame
+    extract l4_h at 38;   // transport ports
+}
+
+action allow() { }
+action deny()  { drop(); }
+
+table acl {
+    key     = { ip_h.srcip; l4_h.dport; }
+    actions = { allow; deny; }
+    size    = {{SIZE}};
+    entries {
+        (0x0a000001, 80)   -> deny;
+        (0x0a000001, 8080) -> deny;
+        (0x0a000002, 443)  -> deny;
+    }
+}
+
+control { apply(acl); }
+`,
+	},
+	{
+		Name:        "Load Balancing",
+		Description: "steer traffic based on 4-tuple header info",
+		DefaultSize: 6,
+		template: `
+module load_balance;
+
+header ip_h {
+    dstip : 32;
+}
+header l4_h {
+    sport : 16;
+    dport : 16;
+}
+
+parser {
+    extract ip_h at 34;
+    extract l4_h at 38;
+}
+
+action to_port(p) { set_port(p); }
+
+table vip {
+    key     = { ip_h.dstip; l4_h.sport; }
+    actions = { to_port; }
+    size    = {{SIZE}};
+    entries {
+        (0x0a00000a, 1000) -> to_port(1);
+        (0x0a00000a, 1001) -> to_port(2);
+        (0x0a00000a, 1002) -> to_port(3);
+        (0x0a00000a, 1003) -> to_port(4);
+    }
+}
+
+control { apply(vip); }
+`,
+	},
+	{
+		Name:        "QoS",
+		Description: "set QoS based on traffic type",
+		DefaultSize: 4,
+		template: `
+module qos;
+
+// vertos covers the IPv4 version/IHL byte and the TOS byte; set_tos
+// rewrites both, keeping version/IHL at 0x45.
+header ipq_h {
+    vertos : 16;
+}
+header l4_h {
+    sport : 16;
+    dport : 16;
+}
+
+parser {
+    extract ipq_h at 18;
+    extract l4_h at 38;
+}
+
+action set_tos(t) { ipq_h.vertos = t; }
+
+table classify {
+    key     = { l4_h.dport; }
+    actions = { set_tos; }
+    size    = {{SIZE}};
+    entries {
+        (5001) -> set_tos(0x45b8);   // EF
+        (5002) -> set_tos(0x4528);   // AF11
+        (5003) -> set_tos(0x4500);   // best effort
+    }
+}
+
+control { apply(classify); }
+`,
+	},
+	{
+		Name:        "Source Routing",
+		Description: "route packets based on parsed header info",
+		DefaultSize: 6,
+		template: `
+module source_routing;
+
+// The source-route hop rides at the front of the UDP payload.
+header sr_h {
+    hop : 16;
+}
+
+parser { extract sr_h at 46; }
+
+action to_port(p) { set_port(p); }
+
+table sr {
+    key     = { sr_h.hop; }
+    actions = { to_port; }
+    size    = {{SIZE}};
+    entries {
+        (1) -> to_port(1);
+        (2) -> to_port(2);
+        (3) -> to_port(3);
+        (4) -> to_port(4);
+    }
+}
+
+control { apply(sr); }
+`,
+	},
+	{
+		Name:        "NetCache",
+		Description: "in-network key-value store",
+		DefaultSize: 2,
+		template: `
+module netcache;
+
+// Simplified NetCache: GET (op=1) reads cache[key] into value, PUT (op=2)
+// writes value into cache[key]. No hot-key tagging.
+header kv_h {
+    op    : 16;
+    key   : 16;
+    value : 32;
+}
+
+register cache[64];
+
+parser { extract kv_h at 46; }
+
+action do_get() { kv_h.value = cache[kv_h.key]; }
+action do_put() { cache[kv_h.key] = kv_h.value; }
+
+table rw {
+    key     = { kv_h.op; }
+    actions = { do_get; do_put; }
+    size    = {{SIZE}};
+    entries {
+        (1) -> do_get;
+        (2) -> do_put;
+    }
+}
+
+control { apply(rw); }
+`,
+	},
+	{
+		Name:        "NetChain",
+		Description: "in-network sequencer",
+		DefaultSize: 2,
+		template: `
+module netchain;
+
+// Simplified NetChain: op=1 assigns the next sequence number from a
+// stateful counter (fetch-and-add).
+header chain_h {
+    op  : 16;
+    seq : 48;
+}
+
+register seq[1];
+
+parser { extract chain_h at 46; }
+
+action next_seq() { chain_h.seq = seq[0]++; }
+action pass()     { }
+
+table sequencer {
+    key     = { chain_h.op; }
+    actions = { pass; next_seq; }
+    size    = {{SIZE}};
+    entries {
+        (1) -> next_seq;
+    }
+}
+
+control { apply(sequencer); }
+`,
+	},
+	{
+		Name:        "Multicast",
+		Description: "multicast based on destination IP address",
+		DefaultSize: 4,
+		template: `
+module multicast;
+
+header ip_h {
+    dstip : 32;
+}
+
+parser { extract ip_h at 34; }
+
+// Group ports are expanded to their members by the traffic manager.
+action to_group(g) { set_port(g); }
+action pass()      { }
+
+table mcast {
+    key     = { ip_h.dstip; }
+    actions = { pass; to_group; }
+    size    = {{SIZE}};
+    entries {
+        (0xe0000001) -> to_group(200);
+        (0xe0000002) -> to_group(201);
+    }
+}
+
+control { apply(mcast); }
+`,
+	},
+}
+
+// SystemLevel is the standalone system-level program (the "System-level"
+// bar of Figures 8 and 9): basic forwarding/routing with a per-module
+// packet counter, the services sysmod installs around every tenant.
+var SystemLevel = Program{
+	Name:        "System-level",
+	Description: "basic forwarding, routing, statistics",
+	DefaultSize: 8,
+	template: `
+module system_level;
+
+header ip_h {
+    srcip : 32;
+    dstip : 32;
+}
+header stats_h {
+    count : 48;
+}
+
+register counters[4];
+
+parser {
+    extract ip_h at 30;
+    extract stats_h at 46;
+}
+
+action count_pkt() { stats_h.count = counters[0]++; }
+action route(p)    { set_port(p); }
+
+table stats {
+    actions = { count_pkt; }
+    size    = 1;
+}
+
+table routing {
+    key     = { ip_h.dstip; }
+    actions = { route; }
+    size    = {{SIZE}};
+    entries {
+        (0x0a000001) -> route(1);
+        (0x0a000002) -> route(2);
+    }
+}
+
+control {
+    apply(stats);
+    apply(routing);
+}
+`,
+}
+
+// ByName returns the program with the given Table 3 name.
+func ByName(name string) (Program, error) {
+	if strings.EqualFold(name, SystemLevel.Name) {
+		return SystemLevel, nil
+	}
+	for _, p := range Programs {
+		if strings.EqualFold(p.Name, name) {
+			return p, nil
+		}
+	}
+	return Program{}, fmt.Errorf("p4progs: unknown program %q", name)
+}
+
+// Names returns all program names (Table 3 order, then System-level).
+func Names() []string {
+	out := make([]string, 0, len(Programs)+1)
+	for _, p := range Programs {
+		out = append(out, p.Name)
+	}
+	out = append(out, SystemLevel.Name)
+	return out
+}
+
+// All returns every program including the system-level one, sorted by
+// name, for deterministic iteration in tests.
+func All() []Program {
+	out := append([]Program(nil), Programs...)
+	out = append(out, SystemLevel)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

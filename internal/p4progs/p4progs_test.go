@@ -1,0 +1,105 @@
+package p4progs
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/compiler"
+)
+
+func TestAllProgramsCompile(t *testing.T) {
+	for i, p := range All() {
+		prog, err := compiler.Compile(p.Source(), compiler.Options{ModuleID: uint16(i + 1)})
+		if err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+			continue
+		}
+		if prog.EntriesGenerated == 0 {
+			t.Errorf("%s generated no entries", p.Name)
+		}
+	}
+}
+
+func TestWithSizeScalesEntries(t *testing.T) {
+	calc, err := ByName("CALC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	limits := compiler.DefaultLimits()
+	limits.EntriesPerTable = 1024
+	for _, n := range []int{16, 64, 256, 1024} {
+		prog, err := compiler.Compile(calc.WithSize(n), compiler.Options{ModuleID: 1, Limits: limits})
+		if err != nil {
+			t.Fatalf("size %d: %v", n, err)
+		}
+		if prog.EntriesGenerated < n {
+			t.Errorf("size %d generated %d entries", n, prog.EntriesGenerated)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		p, err := ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%s): %v", name, err)
+		}
+		if p.Name != name {
+			t.Errorf("ByName(%s).Name = %s", name, p.Name)
+		}
+	}
+	if _, err := ByName("netcache"); err != nil {
+		t.Error("ByName should be case-insensitive")
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestTableThreeCoverage(t *testing.T) {
+	// All eight Table 3 rows present, in order.
+	want := []string{"CALC", "Firewall", "Load Balancing", "QoS",
+		"Source Routing", "NetCache", "NetChain", "Multicast"}
+	if len(Programs) != len(want) {
+		t.Fatalf("programs = %d", len(Programs))
+	}
+	for i, w := range want {
+		if Programs[i].Name != w {
+			t.Errorf("program %d = %s, want %s", i, Programs[i].Name, w)
+		}
+	}
+}
+
+func TestDescriptionsPresent(t *testing.T) {
+	for _, p := range All() {
+		if p.Description == "" {
+			t.Errorf("%s has no description", p.Name)
+		}
+		if !strings.Contains(p.Source(), "module ") {
+			t.Errorf("%s source malformed", p.Name)
+		}
+	}
+}
+
+func TestSystemLevelUsesTwoTables(t *testing.T) {
+	prog, err := compiler.Compile(SystemLevel.Source(), compiler.Options{ModuleID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.StagesUsed != 2 {
+		t.Errorf("system-level stages = %d, want 2 (stats + routing)", prog.StagesUsed)
+	}
+	if len(prog.Registers) != 1 {
+		t.Errorf("system-level registers = %d", len(prog.Registers))
+	}
+}
+
+func TestSourcesAreDeterministic(t *testing.T) {
+	a, _ := ByName("CALC")
+	if a.Source() != a.Source() {
+		t.Error("Source not deterministic")
+	}
+	if a.WithSize(5) == a.WithSize(6) {
+		t.Error("WithSize ignored")
+	}
+}

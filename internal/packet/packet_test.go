@@ -1,0 +1,280 @@
+package packet
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func sampleUDP(t *testing.T) []byte {
+	t.Helper()
+	b := NewUDP(7, IPv4Addr{10, 0, 0, 1}, IPv4Addr{10, 0, 0, 2}, 1111, 2222, []byte("hello"))
+	frame, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return frame
+}
+
+func TestDecodeUDPRoundTrip(t *testing.T) {
+	frame := sampleUDP(t)
+	var p Packet
+	if err := Decode(frame, &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.ModuleID() != 7 {
+		t.Errorf("ModuleID = %d, want 7", p.ModuleID())
+	}
+	if p.Eth.EtherType != EtherTypeIPv4 {
+		t.Errorf("EtherType = %#x", p.Eth.EtherType)
+	}
+	if p.IP.Protocol != ProtoUDP || p.IsTCP {
+		t.Error("not decoded as UDP")
+	}
+	if p.UDP.SrcPort != 1111 || p.UDP.DstPort != 2222 {
+		t.Errorf("ports = %d,%d", p.UDP.SrcPort, p.UDP.DstPort)
+	}
+	if string(p.Payload) != "hello" {
+		t.Errorf("payload = %q", p.Payload)
+	}
+	if p.IP.Src != (IPv4Addr{10, 0, 0, 1}) || p.IP.Dst != (IPv4Addr{10, 0, 0, 2}) {
+		t.Error("addresses wrong")
+	}
+}
+
+func TestDecodeTCPRoundTrip(t *testing.T) {
+	b := NewTCP(9, IPv4Addr{1, 2, 3, 4}, IPv4Addr{5, 6, 7, 8}, 80, 443, []byte("x"))
+	frame, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p Packet
+	if err := Decode(frame, &p); err != nil {
+		t.Fatal(err)
+	}
+	if !p.IsTCP {
+		t.Fatal("not TCP")
+	}
+	if p.TCP.SrcPort != 80 || p.TCP.DstPort != 443 {
+		t.Errorf("ports = %d,%d", p.TCP.SrcPort, p.TCP.DstPort)
+	}
+	if p.TCP.Flags&TCPAck == 0 {
+		t.Error("ACK flag missing")
+	}
+}
+
+func TestDecodeZeroCopy(t *testing.T) {
+	frame := sampleUDP(t)
+	var p Packet
+	if err := Decode(frame, &p); err != nil {
+		t.Fatal(err)
+	}
+	// Raw aliases the input (NoCopy idiom).
+	if &p.Raw[0] != &frame[0] {
+		t.Error("Raw does not alias input buffer")
+	}
+	// Payload aliases within Raw.
+	p.Payload[0] = 'H'
+	if frame[len(frame)-5] != 'H' {
+		t.Error("Payload does not alias input buffer")
+	}
+}
+
+func TestDecodeNoVLAN(t *testing.T) {
+	frame := sampleUDP(t)
+	// Strip the VLAN tag: move ethertype up.
+	untagged := append([]byte{}, frame[:12]...)
+	untagged = append(untagged, frame[16:]...)
+	var e Ethernet
+	err := DecodeEthernet(untagged, &e)
+	if !errors.Is(err, ErrNoVLAN) {
+		t.Fatalf("err = %v, want ErrNoVLAN", err)
+	}
+	if e.EtherType != EtherTypeIPv4 {
+		t.Errorf("outer ethertype = %#x", e.EtherType)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	var p Packet
+	if err := Decode(nil, &p); !errors.Is(err, ErrTooShort) && !errors.Is(err, ErrNoVLAN) {
+		t.Errorf("nil frame: %v", err)
+	}
+	if err := Decode(make([]byte, 10), &p); err == nil {
+		t.Error("10-byte frame should fail")
+	}
+
+	frame := sampleUDP(t)
+	frame[offEtherType] = 0x86 // not IPv4
+	frame[offEtherType+1] = 0xdd
+	if err := Decode(frame, &p); !errors.Is(err, ErrNotIPv4) {
+		t.Errorf("non-IPv4: %v", err)
+	}
+
+	frame = sampleUDP(t)
+	frame[EthernetHeaderLen+VLANTagLen+9] = 47 // GRE
+	if err := Decode(frame, &p); !errors.Is(err, ErrProto) {
+		t.Errorf("GRE: %v", err)
+	}
+}
+
+func TestIPv4ChecksumValid(t *testing.T) {
+	frame := sampleUDP(t)
+	ipHdr := frame[EthernetHeaderLen+VLANTagLen:]
+	var sum uint32
+	for i := 0; i < IPv4HeaderLen; i += 2 {
+		sum += uint32(ipHdr[i])<<8 | uint32(ipHdr[i+1])
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	if uint16(sum) != 0xffff {
+		t.Errorf("IP checksum does not verify: folded sum %#x", sum)
+	}
+}
+
+func TestChecksumKnownVector(t *testing.T) {
+	// RFC 1071 example-style vector.
+	data := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	got := Checksum(data)
+	// Independent computation.
+	sum := uint32(0x0001) + 0xf203 + 0xf4f5 + 0xf6f7
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	want := ^uint16(sum)
+	if got != want {
+		t.Errorf("Checksum = %#x, want %#x", got, want)
+	}
+}
+
+func TestChecksumOddLength(t *testing.T) {
+	if Checksum([]byte{0xff}) != ^uint16(0xff00) {
+		t.Error("odd-length checksum pads low byte")
+	}
+}
+
+func TestBuilderSizePadding(t *testing.T) {
+	b := NewUDP(1, IPv4Addr{}, IPv4Addr{}, 1, 2, []byte("abc"))
+	b.Size = 128
+	frame, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frame) != 128 {
+		t.Errorf("len = %d, want 128", len(frame))
+	}
+	var p Packet
+	if err := Decode(frame, &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.IP.TotalLen != 128-EthernetHeaderLen-VLANTagLen {
+		t.Errorf("IP total length = %d", p.IP.TotalLen)
+	}
+}
+
+func TestBuilderSizeTooSmall(t *testing.T) {
+	b := NewUDP(1, IPv4Addr{}, IPv4Addr{}, 1, 2, make([]byte, 100))
+	b.Size = 60
+	if _, err := b.Build(); err == nil {
+		t.Error("undersized Build should fail")
+	}
+}
+
+func TestVLANFieldsRoundTrip(t *testing.T) {
+	e := Ethernet{
+		Dst: MAC{1, 2, 3, 4, 5, 6}, Src: MAC{7, 8, 9, 10, 11, 12},
+		PCP: 5, VLANID: 0x0abc, EtherType: EtherTypeIPv4,
+	}
+	buf := make([]byte, 18)
+	n, err := e.Serialize(buf)
+	if err != nil || n != 18 {
+		t.Fatalf("Serialize: n=%d err=%v", n, err)
+	}
+	var d Ethernet
+	if err := DecodeEthernet(buf, &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.VLANID != 0x0abc || d.PCP != 5 || d.Dst != e.Dst || d.Src != e.Src {
+		t.Errorf("round trip mismatch: %+v", d)
+	}
+}
+
+func TestVLANIDMasksTo12Bits(t *testing.T) {
+	e := Ethernet{VLANID: 0xffff, EtherType: EtherTypeIPv4}
+	buf := make([]byte, 18)
+	if _, err := e.Serialize(buf); err != nil {
+		t.Fatal(err)
+	}
+	var d Ethernet
+	if err := DecodeEthernet(buf, &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.VLANID != 0x0fff {
+		t.Errorf("VLANID = %#x, want 0x0fff", d.VLANID)
+	}
+}
+
+func TestAddrHelpers(t *testing.T) {
+	a := IPv4Addr{192, 168, 1, 2}
+	if a.String() != "192.168.1.2" {
+		t.Errorf("String = %s", a)
+	}
+	if AddrFromUint32(a.Uint32()) != a {
+		t.Error("Uint32 round trip failed")
+	}
+	m := MAC{0xde, 0xad, 0xbe, 0xef, 0x00, 0x01}
+	if m.String() != "de:ad:be:ef:00:01" {
+		t.Errorf("MAC.String = %s", m)
+	}
+}
+
+func TestStandardHeaderLen(t *testing.T) {
+	if StandardHeaderLen != 46 {
+		t.Errorf("StandardHeaderLen = %d, want 46", StandardHeaderLen)
+	}
+	frame := sampleUDP(t)
+	if !bytes.Equal(frame[StandardHeaderLen:], []byte("hello")) {
+		t.Error("payload does not start at StandardHeaderLen")
+	}
+}
+
+// Property: build/decode round-trips the module ID and ports for any
+// inputs.
+func TestQuickBuildDecodeRoundTrip(t *testing.T) {
+	f := func(vid uint16, sport, dport uint16, payloadLen uint8) bool {
+		b := NewUDP(vid, IPv4Addr{10, 0, 0, 1}, IPv4Addr{10, 0, 0, 2},
+			sport, dport, make([]byte, int(payloadLen)))
+		frame, err := b.Build()
+		if err != nil {
+			return false
+		}
+		var p Packet
+		if err := Decode(frame, &p); err != nil {
+			return false
+		}
+		return p.ModuleID() == vid&0x0fff &&
+			p.UDP.SrcPort == sport && p.UDP.DstPort == dport &&
+			len(p.Payload) == int(payloadLen)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: serialized IPv4 headers always carry a verifying checksum.
+func TestQuickIPv4ChecksumAlwaysValid(t *testing.T) {
+	f := func(tos, ttl uint8, id uint16, src, dst uint32) bool {
+		ip := IPv4{TOS: tos, TotalLen: 100, ID: id, TTL: ttl, Protocol: ProtoUDP,
+			Src: AddrFromUint32(src), Dst: AddrFromUint32(dst)}
+		buf := make([]byte, IPv4HeaderLen)
+		if _, err := ip.Serialize(buf); err != nil {
+			return false
+		}
+		return ip.VerifyChecksum(buf)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

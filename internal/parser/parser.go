@@ -1,0 +1,273 @@
+// Package parser implements Menshen's programmable parser and deparser.
+//
+// Parsing is driven by a table lookup (§3.1, Figure 3): the packet's
+// module ID (VLAN ID) indexes a parser table whose entries hold up to ten
+// 16-bit parse actions, each specifying where in the first 128 bytes of
+// the packet to extract a field and which PHV container receives it. The
+// deparser uses a table of identical format to write modified containers
+// back into the packet at the same offsets.
+package parser
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/packet"
+	"repro/internal/phv"
+	"repro/internal/tables"
+)
+
+// Geometry from §4.1 / Table 5.
+const (
+	// ActionsPerEntry is the number of parse actions per module: at most
+	// ten containers can be parsed out.
+	ActionsPerEntry = 10
+	// ActionBits is the width of one parse action.
+	ActionBits = 16
+	// EntryBits is the width of one parser-table entry (160 bits).
+	EntryBits = ActionsPerEntry * ActionBits
+	// EntryBytes is EntryBits in bytes.
+	EntryBytes = EntryBits / 8
+	// Window is the parseable prefix of the packet.
+	Window = packet.HeaderWindow
+)
+
+// Errors.
+var (
+	ErrNoConfig  = errors.New("parser: no parser configuration for module")
+	ErrBadAction = errors.New("parser: invalid parse action")
+)
+
+// Action is one 16-bit parse action. Wire layout, MSB first:
+// reserved[3] offset[7] containerType[2] containerIndex[3] valid[1].
+type Action struct {
+	Offset uint8 // byte offset from the head of the packet (0-127)
+	Dest   phv.Ref
+	Valid  bool
+}
+
+// Encode packs the action into its 16-bit wire form.
+func (a Action) Encode() uint16 {
+	var v uint16
+	v |= uint16(a.Offset&0x7f) << 6
+	v |= uint16(a.Dest.Type&0x03) << 4
+	v |= uint16(a.Dest.Index&0x07) << 1
+	if a.Valid {
+		v |= 1
+	}
+	return v
+}
+
+// DecodeAction unpacks a 16-bit parse action.
+func DecodeAction(v uint16) Action {
+	return Action{
+		Offset: uint8(v >> 6 & 0x7f),
+		Dest:   phv.Ref{Type: phv.ContainerType(v >> 4 & 0x03), Index: uint8(v >> 1 & 0x07)},
+		Valid:  v&1 != 0,
+	}
+}
+
+// Validate checks the action's ranges: the destination must be a data
+// container (metadata is pipeline-owned) and the extracted bytes must lie
+// inside the 128-byte window.
+func (a Action) Validate() error {
+	if !a.Valid {
+		return nil
+	}
+	if a.Dest.Type == phv.TypeMeta {
+		return fmt.Errorf("%w: cannot parse into metadata container", ErrBadAction)
+	}
+	if !a.Dest.Valid() {
+		return fmt.Errorf("%w: destination %v", ErrBadAction, a.Dest)
+	}
+	if int(a.Offset)+a.Dest.Type.Width() > Window {
+		return fmt.Errorf("%w: extraction [%d,%d) exceeds %d-byte window",
+			ErrBadAction, a.Offset, int(a.Offset)+a.Dest.Type.Width(), Window)
+	}
+	return nil
+}
+
+// Entry is one parser-table entry: the parse actions for one module.
+type Entry struct {
+	Actions [ActionsPerEntry]Action
+}
+
+// Encode packs the entry into its 160-bit (20-byte) wire form.
+func (e Entry) Encode() []byte {
+	out := make([]byte, EntryBytes)
+	for i, a := range e.Actions {
+		v := a.Encode()
+		out[2*i] = byte(v >> 8)
+		out[2*i+1] = byte(v)
+	}
+	return out
+}
+
+// DecodeEntry unpacks a parser-table entry.
+func DecodeEntry(b []byte) (Entry, error) {
+	var e Entry
+	if len(b) < EntryBytes {
+		return e, fmt.Errorf("parser: entry needs %d bytes, have %d", EntryBytes, len(b))
+	}
+	for i := range e.Actions {
+		e.Actions[i] = DecodeAction(uint16(b[2*i])<<8 | uint16(b[2*i+1]))
+	}
+	return e, nil
+}
+
+// Validate checks every action in the entry and rejects duplicate
+// destination containers (two extractions into one container would race
+// in hardware).
+func (e Entry) Validate() error {
+	seen := map[phv.Ref]bool{}
+	for i, a := range e.Actions {
+		if err := a.Validate(); err != nil {
+			return fmt.Errorf("action %d: %w", i, err)
+		}
+		if a.Valid {
+			if seen[a.Dest] {
+				return fmt.Errorf("%w: action %d duplicates destination %v", ErrBadAction, i, a.Dest)
+			}
+			seen[a.Dest] = true
+		}
+	}
+	return nil
+}
+
+// ValidActions returns the number of valid actions in the entry.
+func (e Entry) ValidActions() int {
+	n := 0
+	for _, a := range e.Actions {
+		if a.Valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Parser is the programmable parser: an overlay table of per-module parse
+// entries. It also owns VLAN-ID extraction, which happens before the
+// table lookup (Figure 3).
+type Parser struct {
+	table *tables.Overlay[Entry]
+}
+
+// New returns a parser with the given overlay depth (tables.OverlayDepth
+// for the paper's geometry).
+func New(depth int) *Parser {
+	return &Parser{table: tables.NewOverlay[Entry](depth)}
+}
+
+// Table exposes the underlying overlay for reconfiguration.
+func (p *Parser) Table() *tables.Overlay[Entry] { return p.table }
+
+// Set installs the parse entry for a module index.
+func (p *Parser) Set(idx int, e Entry) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	return p.table.Set(idx, e)
+}
+
+// ExtractModuleID reads the VLAN ID from the frame without consulting any
+// per-module state: in the optimized design this value is sent ahead of
+// the PHV to mask SRAM read latency (§3.2).
+func ExtractModuleID(data []byte) (uint16, error) {
+	var eth packet.Ethernet
+	if err := packet.DecodeEthernet(data, &eth); err != nil {
+		return 0, err
+	}
+	return eth.VLANID, nil
+}
+
+// Parse zeroes the PHV (preventing cross-module container leaks), records
+// platform metadata, and applies the module's parse actions to fill PHV
+// containers from the first 128 bytes of data. Fields beyond the end of a
+// short packet read as zero, as a hardware byte-shifter would produce.
+func (p *Parser) Parse(data []byte, modIdx int, v *phv.PHV) error {
+	entry, ok := p.table.Lookup(modIdx)
+	if !ok {
+		return fmt.Errorf("%w: index %d", ErrNoConfig, modIdx)
+	}
+	v.Zero()
+	if len(data) > 0xffff {
+		return fmt.Errorf("parser: packet length %d exceeds 16-bit metadata field", len(data))
+	}
+	v.SetPacketLen(uint16(len(data)))
+	for _, a := range entry.Actions {
+		if !a.Valid {
+			continue
+		}
+		dst, err := v.Bytes(a.Dest)
+		if err != nil {
+			return err
+		}
+		copyWindow(dst, data, int(a.Offset))
+	}
+	return nil
+}
+
+// copyWindow copies len(dst) bytes from data[off:] into dst, zero-filling
+// past the end of data.
+func copyWindow(dst, data []byte, off int) {
+	for i := range dst {
+		if off+i < len(data) {
+			dst[i] = data[off+i]
+		} else {
+			dst[i] = 0
+		}
+	}
+}
+
+// Deparser writes modified PHV containers back into the packet. Its table
+// format is identical to the parser's and is likewise indexed by module ID
+// (§3.1: "The format of the deparser table is identical to the parser
+// table").
+type Deparser struct {
+	table *tables.Overlay[Entry]
+}
+
+// NewDeparser returns a deparser with the given overlay depth.
+func NewDeparser(depth int) *Deparser {
+	return &Deparser{table: tables.NewOverlay[Entry](depth)}
+}
+
+// Table exposes the underlying overlay for reconfiguration.
+func (d *Deparser) Table() *tables.Overlay[Entry] { return d.table }
+
+// Set installs the deparse entry for a module index.
+func (d *Deparser) Set(idx int, e Entry) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	return d.table.Set(idx, e)
+}
+
+// Deparse writes each configured container back into data at its offset,
+// updating only the portions of the packet the pipeline may have modified
+// (§4.1). Writes beyond the end of the packet are truncated.
+func (d *Deparser) Deparse(data []byte, modIdx int, v *phv.PHV) error {
+	entry, ok := d.table.Lookup(modIdx)
+	if !ok {
+		return fmt.Errorf("%w: deparser index %d", ErrNoConfig, modIdx)
+	}
+	for _, a := range entry.Actions {
+		if !a.Valid {
+			continue
+		}
+		src, err := v.Bytes(a.Dest)
+		if err != nil {
+			return err
+		}
+		off := int(a.Offset)
+		n := len(src)
+		if off >= len(data) {
+			continue
+		}
+		if off+n > len(data) {
+			n = len(data) - off
+		}
+		copy(data[off:off+n], src[:n])
+	}
+	return nil
+}

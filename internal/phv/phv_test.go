@@ -1,0 +1,261 @@
+package phv
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestContainerWidths(t *testing.T) {
+	tests := []struct {
+		typ  ContainerType
+		want int
+	}{
+		{Type2B, 2}, {Type4B, 4}, {Type6B, 6}, {TypeMeta, 32},
+	}
+	for _, tc := range tests {
+		if got := tc.typ.Width(); got != tc.want {
+			t.Errorf("%v.Width() = %d, want %d", tc.typ, got, tc.want)
+		}
+	}
+	if ContainerType(9).Width() != 0 {
+		t.Error("invalid type should have width 0")
+	}
+}
+
+func TestTotalGeometryMatchesPaper(t *testing.T) {
+	// Table 5: 3*8+1 = 25 containers, 128 bytes total.
+	if NumContainers != 25 {
+		t.Errorf("NumContainers = %d, want 25", NumContainers)
+	}
+	if TotalBytes != 128 {
+		t.Errorf("TotalBytes = %d, want 128", TotalBytes)
+	}
+}
+
+func TestRefValid(t *testing.T) {
+	valid := []Ref{
+		{Type2B, 0}, {Type2B, 7}, {Type4B, 3}, {Type6B, 7}, {TypeMeta, 0},
+	}
+	for _, r := range valid {
+		if !r.Valid() {
+			t.Errorf("%v should be valid", r)
+		}
+	}
+	invalid := []Ref{
+		{Type2B, 8}, {Type4B, 200}, {TypeMeta, 1}, {ContainerType(7), 0},
+	}
+	for _, r := range invalid {
+		if r.Valid() {
+			t.Errorf("%v should be invalid", r)
+		}
+	}
+}
+
+func TestGetSetRoundTrip(t *testing.T) {
+	var p PHV
+	tests := []struct {
+		ref Ref
+		val uint64
+	}{
+		{Ref{Type2B, 0}, 0xbeef},
+		{Ref{Type2B, 7}, 0},
+		{Ref{Type4B, 1}, 0xdeadbeef},
+		{Ref{Type6B, 5}, 0xaabbccddeeff},
+	}
+	for _, tc := range tests {
+		p.MustSet(tc.ref, tc.val)
+		if got := p.MustGet(tc.ref); got != tc.val {
+			t.Errorf("%v: got %#x, want %#x", tc.ref, got, tc.val)
+		}
+	}
+}
+
+func TestSetTruncatesLikeHardware(t *testing.T) {
+	var p PHV
+	p.MustSet(Ref{Type2B, 0}, 0x12345)
+	if got := p.MustGet(Ref{Type2B, 0}); got != 0x2345 {
+		t.Errorf("2B truncation: got %#x, want 0x2345", got)
+	}
+	p.MustSet(Ref{Type4B, 0}, 0x1_ffffffff)
+	if got := p.MustGet(Ref{Type4B, 0}); got != 0xffffffff {
+		t.Errorf("4B truncation: got %#x, want 0xffffffff", got)
+	}
+}
+
+func TestGetSetBigEndian(t *testing.T) {
+	var p PHV
+	p.MustSet(Ref{Type4B, 2}, 0x01020304)
+	b, err := p.Bytes(Ref{Type4B, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{1, 2, 3, 4}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("big-endian layout: got %v, want %v", b, want)
+		}
+	}
+}
+
+func TestMetadataAccessors(t *testing.T) {
+	var p PHV
+	if p.Discarded() {
+		t.Error("fresh PHV should not be discarded")
+	}
+	p.Discard()
+	if !p.Discarded() {
+		t.Error("Discard did not set the flag")
+	}
+	p.SetEgress(7)
+	if p.Egress() != 7 {
+		t.Errorf("Egress = %d", p.Egress())
+	}
+	p.SetIngress(3)
+	if p.Ingress() != 3 {
+		t.Errorf("Ingress = %d", p.Ingress())
+	}
+	p.SetPacketLen(1500)
+	if p.PacketLen() != 1500 {
+		t.Errorf("PacketLen = %d", p.PacketLen())
+	}
+}
+
+func TestBufferTagOneHot(t *testing.T) {
+	var p PHV
+	for n := uint8(0); n < 4; n++ {
+		p.SetBufferTag(n)
+		if p.Meta[MetaOffBufferTag] != 1<<n {
+			t.Errorf("tag %d not one-hot: %#x", n, p.Meta[MetaOffBufferTag])
+		}
+		if p.BufferTag() != n {
+			t.Errorf("BufferTag = %d, want %d", p.BufferTag(), n)
+		}
+	}
+}
+
+func TestZeroClearsEverything(t *testing.T) {
+	var p PHV
+	p.MustSet(Ref{Type6B, 3}, 0x112233445566)
+	p.Discard()
+	p.ModuleID = 9
+	p.Zero()
+	if p.MustGet(Ref{Type6B, 3}) != 0 || p.Discarded() || p.ModuleID != 0 {
+		t.Error("Zero did not clear all state")
+	}
+}
+
+func TestMetaRejectsIntegerAccess(t *testing.T) {
+	var p PHV
+	if _, err := p.Get(Ref{TypeMeta, 0}); err == nil {
+		t.Error("Get on metadata should fail")
+	}
+	if err := p.Set(Ref{TypeMeta, 0}, 1); err == nil {
+		t.Error("Set on metadata should fail")
+	}
+}
+
+func TestBadRefErrors(t *testing.T) {
+	var p PHV
+	if _, err := p.Bytes(Ref{Type2B, 9}); err == nil {
+		t.Error("Bytes on bad ref should fail")
+	}
+	if _, err := p.Get(Ref{ContainerType(9), 0}); err == nil {
+		t.Error("Get on bad type should fail")
+	}
+}
+
+func TestAllRefsCoversEverySlot(t *testing.T) {
+	refs := AllRefs()
+	if len(refs) != NumContainers {
+		t.Fatalf("AllRefs returned %d refs, want %d", len(refs), NumContainers)
+	}
+	seen := map[Ref]bool{}
+	for _, r := range refs {
+		if !r.Valid() {
+			t.Errorf("AllRefs produced invalid ref %v", r)
+		}
+		if seen[r] {
+			t.Errorf("duplicate ref %v", r)
+		}
+		seen[r] = true
+	}
+}
+
+func TestALUIndexRoundTrip(t *testing.T) {
+	for slot := 0; slot < NumContainers; slot++ {
+		r, err := RefForALU(slot)
+		if err != nil {
+			t.Fatalf("RefForALU(%d): %v", slot, err)
+		}
+		back, err := ALUIndex(r)
+		if err != nil {
+			t.Fatalf("ALUIndex(%v): %v", r, err)
+		}
+		if back != slot {
+			t.Errorf("round trip %d -> %v -> %d", slot, r, back)
+		}
+	}
+	if _, err := RefForALU(25); err == nil {
+		t.Error("RefForALU(25) should fail")
+	}
+	if _, err := RefForALU(-1); err == nil {
+		t.Error("RefForALU(-1) should fail")
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	var p PHV
+	p.MustSet(Ref{Type4B, 0}, 42)
+	q := p.Clone()
+	if !p.Equal(q) {
+		t.Error("clone should equal original")
+	}
+	q.MustSet(Ref{Type4B, 0}, 43)
+	if p.Equal(q) {
+		t.Error("mutated clone should differ")
+	}
+	if p.MustGet(Ref{Type4B, 0}) != 42 {
+		t.Error("mutating clone changed original")
+	}
+}
+
+// Property: Set then Get returns the value masked to container width, for
+// all containers and values.
+func TestQuickSetGetMasked(t *testing.T) {
+	f := func(slot uint8, val uint64) bool {
+		s := int(slot) % (NumContainers - 1) // skip metadata
+		r, err := RefForALU(s)
+		if err != nil {
+			return false
+		}
+		var p PHV
+		p.MustSet(r, val)
+		width := r.Type.Width()
+		mask := uint64(1)<<(8*width) - 1
+		return p.MustGet(r) == val&mask
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: writes to one container never disturb another.
+func TestQuickContainerIndependence(t *testing.T) {
+	f := func(a, b uint8, val uint64) bool {
+		sa := int(a) % (NumContainers - 1)
+		sb := int(b) % (NumContainers - 1)
+		if sa == sb {
+			return true
+		}
+		ra, _ := RefForALU(sa)
+		rb, _ := RefForALU(sb)
+		var p PHV
+		p.MustSet(rb, 0x5a5a5a5a5a5a)
+		before := p.MustGet(rb)
+		p.MustSet(ra, val)
+		return p.MustGet(rb) == before
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,387 @@
+// Package reconfig implements Menshen's secure reconfiguration path: the
+// reconfiguration packet format of Figure 7, the daisy chain that carries
+// configuration commands past each pipeline element, and the packet filter
+// with its software-visible registers (reconfiguration packet counter and
+// module-under-update bitmap).
+//
+// Security model (§3.1): data packets are untrusted; only the Menshen
+// software may reconfigure the pipeline. Reconfiguration packets are
+// identified by a dedicated UDP destination port and are only accepted
+// from the control-plane interface (PCIe in the prototype), never from
+// the data path.
+package reconfig
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/packet"
+)
+
+// ReconfigUDPPort is the predefined UDP destination port (0xf1f2, §4.1)
+// that marks reconfiguration packets.
+const ReconfigUDPPort = 0xf1f2
+
+// Kind identifies which hardware resource a reconfiguration packet
+// targets.
+type Kind uint8
+
+// Resource kinds. Parser and Deparser are stageless; the rest live in a
+// numbered stage.
+const (
+	KindParser Kind = iota + 1
+	KindDeparser
+	KindKeyExtract
+	KindKeyMask
+	KindCAM
+	KindVLIW
+	KindSegment
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindParser:
+		return "parser"
+	case KindDeparser:
+		return "deparser"
+	case KindKeyExtract:
+		return "key-extractor"
+	case KindKeyMask:
+		return "key-mask"
+	case KindCAM:
+		return "cam"
+	case KindVLIW:
+		return "vliw-action"
+	case KindSegment:
+		return "segment"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Stageless reports whether the resource kind lives outside the stages.
+func (k Kind) Stageless() bool { return k == KindParser || k == KindDeparser }
+
+// ResourceID is the 12-bit resource identifier: a 4-bit stage number in
+// the high nibble and the resource kind in the low byte. It indicates
+// "which hardware resource within which stage should be updated (e.g.,
+// key extractor table in stage 3)" (§4.1).
+type ResourceID uint16
+
+// MakeResourceID builds a resource ID. Stage is ignored for stageless
+// kinds.
+func MakeResourceID(stg int, kind Kind) ResourceID {
+	if kind.Stageless() {
+		stg = 0
+	}
+	return ResourceID(uint16(stg&0xf)<<8 | uint16(kind))
+}
+
+// Stage returns the stage number encoded in the ID.
+func (r ResourceID) Stage() int { return int(r >> 8 & 0xf) }
+
+// Kind returns the resource kind encoded in the ID.
+func (r ResourceID) Kind() Kind { return Kind(r & 0xff) }
+
+// String implements fmt.Stringer.
+func (r ResourceID) String() string {
+	if r.Kind().Stageless() {
+		return r.Kind().String()
+	}
+	return fmt.Sprintf("stage%d/%s", r.Stage(), r.Kind())
+}
+
+// Command is one decoded reconfiguration command: write Payload into entry
+// Index of resource Resource.
+type Command struct {
+	Resource ResourceID
+	Index    uint8
+	Payload  []byte
+}
+
+// Wire layout of the UDP payload (Figure 7): ResourceID+reserved packs
+// into 2 bytes, then a 1-byte index, then 15 bytes of padding, then the
+// entry payload.
+const (
+	payloadHeaderLen = 2 + 1 + 15
+)
+
+// Errors.
+var (
+	ErrNotReconfig = errors.New("reconfig: not a reconfiguration packet")
+	ErrShort       = errors.New("reconfig: truncated reconfiguration payload")
+)
+
+// EncodePacket builds a full reconfiguration frame: the standard
+// Ethernet/VLAN/IPv4/UDP headers (VLAN ID carries the module being
+// configured, informationally) followed by the command payload.
+func EncodePacket(moduleID uint16, cmd Command) ([]byte, error) {
+	body := make([]byte, payloadHeaderLen+len(cmd.Payload))
+	binary.BigEndian.PutUint16(body[0:], uint16(cmd.Resource)<<4) // 12 bits + 4 reserved
+	body[2] = cmd.Index
+	copy(body[payloadHeaderLen:], cmd.Payload)
+	b := packet.NewUDP(moduleID,
+		packet.IPv4Addr{10, 0, 0, 1}, packet.IPv4Addr{10, 0, 0, 2},
+		0xf1f1, ReconfigUDPPort, body)
+	return b.Build()
+}
+
+// DecodePacket parses a frame as a reconfiguration packet. It returns
+// ErrNotReconfig if the frame is not UDP to the reconfiguration port.
+func DecodePacket(data []byte) (moduleID uint16, cmd Command, err error) {
+	var p packet.Packet
+	if derr := packet.Decode(data, &p); derr != nil {
+		return 0, cmd, fmt.Errorf("%w: %v", ErrNotReconfig, derr)
+	}
+	if p.IsTCP || p.UDP.DstPort != ReconfigUDPPort {
+		return 0, cmd, ErrNotReconfig
+	}
+	body := p.Payload
+	if len(body) < payloadHeaderLen {
+		return 0, cmd, fmt.Errorf("%w: %d bytes", ErrShort, len(body))
+	}
+	cmd.Resource = ResourceID(binary.BigEndian.Uint16(body[0:]) >> 4)
+	cmd.Index = body[2]
+	cmd.Payload = body[payloadHeaderLen:]
+	return p.ModuleID(), cmd, nil
+}
+
+// IsReconfigFrame reports whether the frame is addressed to the
+// reconfiguration UDP port — the packet filter's combinational check.
+func IsReconfigFrame(data []byte) bool {
+	var p packet.Packet
+	if err := packet.Decode(data, &p); err != nil {
+		return false
+	}
+	return !p.IsTCP && p.UDP.DstPort == ReconfigUDPPort
+}
+
+// Sink applies decoded configuration commands to pipeline resources. The
+// pipeline implements this; the daisy chain calls it for each command as
+// the command "passes" the target element.
+type Sink interface {
+	Apply(cmd Command) error
+}
+
+// DaisyChain models the separate configuration pipeline of §3.1. Commands
+// are applied strictly in order and the reconfiguration packet counter is
+// incremented for each packet that traverses the chain, whether or not it
+// applied cleanly, matching the hardware counter the software polls.
+//
+// A loss function can be installed to model reconfiguration packets being
+// dropped before they reach the pipeline (§4.1): a dropped packet neither
+// applies nor increments the counter, which is exactly how the software
+// detects the loss and restarts the procedure.
+type DaisyChain struct {
+	sink    Sink
+	counter atomic.Uint32
+
+	mu     sync.Mutex
+	lose   func(seq uint64) bool
+	pushed uint64
+	lost   atomic.Uint64
+}
+
+// NewDaisyChain returns a chain feeding the given sink.
+func NewDaisyChain(sink Sink) *DaisyChain {
+	return &DaisyChain{sink: sink}
+}
+
+// SetLossFunc installs a fault injector: lose is called with a
+// monotonically increasing push sequence number and returns true to drop
+// that packet. Pass nil to restore lossless delivery.
+func (d *DaisyChain) SetLossFunc(lose func(seq uint64) bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.lose = lose
+}
+
+// Lost reports how many packets the fault injector has dropped.
+func (d *DaisyChain) Lost() uint64 { return d.lost.Load() }
+
+// dropNext consumes one sequence number and reports whether to drop.
+func (d *DaisyChain) dropNext() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	seq := d.pushed
+	d.pushed++
+	if d.lose != nil && d.lose(seq) {
+		d.lost.Add(1)
+		return true
+	}
+	return false
+}
+
+// Push decodes one reconfiguration frame and applies its command.
+func (d *DaisyChain) Push(frame []byte) error {
+	_, cmd, err := DecodePacket(frame)
+	if err != nil {
+		return err
+	}
+	if d.dropNext() {
+		return nil // lost in flight: no apply, no counter increment
+	}
+	d.counter.Add(1)
+	return d.sink.Apply(cmd)
+}
+
+// PushCommand applies an already-decoded command (the control plane's
+// in-process fast path; counts like a packet and is subject to the same
+// fault injector).
+func (d *DaisyChain) PushCommand(cmd Command) error {
+	if d.dropNext() {
+		return nil
+	}
+	d.counter.Add(1)
+	return d.sink.Apply(cmd)
+}
+
+// Counter returns the reconfiguration packet counter register.
+func (d *DaisyChain) Counter() uint32 { return d.counter.Load() }
+
+// Verdict classifies a data-path frame at the packet filter.
+type Verdict uint8
+
+// Filter verdicts.
+const (
+	// VerdictData admits the frame to the pipeline.
+	VerdictData Verdict = iota
+	// VerdictDropNoVLAN drops frames without an 802.1Q tag (§3.1).
+	VerdictDropNoVLAN
+	// VerdictDropReconfig drops reconfiguration-port frames arriving from
+	// the untrusted data path (§3.1, secure reconfiguration).
+	VerdictDropReconfig
+	// VerdictDropUpdating drops frames of a module whose bit is set in the
+	// update bitmap, so in-flight packets never see partial configurations
+	// (§4.1).
+	VerdictDropUpdating
+	// VerdictControl diverts untagged control traffic (e.g., BFD) to the
+	// control plane when the filter is configured to pass it (§3.1 fn 2).
+	VerdictControl
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictData:
+		return "data"
+	case VerdictDropNoVLAN:
+		return "drop-no-vlan"
+	case VerdictDropReconfig:
+		return "drop-reconfig-from-data-path"
+	case VerdictDropUpdating:
+		return "drop-module-updating"
+	case VerdictControl:
+		return "to-control-plane"
+	}
+	return fmt.Sprintf("Verdict(%d)", uint8(v))
+}
+
+// Filter is the Menshen packet filter: it separates reconfiguration
+// packets from data packets, enforces the VLAN-tag requirement, applies
+// the update bitmap, and assigns round-robin packet-buffer tags and
+// parser numbers for the multi-parser optimization (§3.2).
+//
+// Its two software-visible registers — the 32-bit update bitmap and the
+// reconfiguration packet counter (owned by the daisy chain) — are accessed
+// by the control plane over AXI-Lite in the prototype.
+type Filter struct {
+	bitmap       atomic.Uint32
+	passUntagged bool
+
+	rrBuffer atomic.Uint32
+	rrParser atomic.Uint32
+
+	// Per-verdict counters for observability.
+	counts [5]atomic.Uint64
+}
+
+// NewFilter returns a packet filter. If passUntagged is true, untagged
+// frames are diverted to the control plane instead of dropped.
+func NewFilter(passUntagged bool) *Filter {
+	return &Filter{passUntagged: passUntagged}
+}
+
+// SetUpdating sets or clears a module's bit in the update bitmap. While
+// set, the module's data packets are dropped so none are processed by a
+// partially written configuration.
+func (f *Filter) SetUpdating(moduleID uint16, updating bool) {
+	bit := uint32(1) << (moduleID & 31)
+	for {
+		old := f.bitmap.Load()
+		var next uint32
+		if updating {
+			next = old | bit
+		} else {
+			next = old &^ bit
+		}
+		if f.bitmap.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Bitmap returns the update bitmap register.
+func (f *Filter) Bitmap() uint32 { return f.bitmap.Load() }
+
+// ClassifyResult is the filter's output for one frame.
+type ClassifyResult struct {
+	Verdict   Verdict
+	ModuleID  uint16
+	BufferTag uint8 // packet buffer 0-3 (§3.2)
+	ParserNum uint8 // which of the parallel parsers receives the frame
+}
+
+// Classify runs the filter over one data-path frame. numParsers is the
+// parallel-parser count of the platform (2 in the optimized design).
+func (f *Filter) Classify(data []byte, numParsers int) ClassifyResult {
+	var res ClassifyResult
+	if IsReconfigFrame(data) {
+		res.Verdict = VerdictDropReconfig
+		f.counts[VerdictDropReconfig].Add(1)
+		return res
+	}
+	vid, err := parserVLANID(data)
+	if err != nil {
+		if f.passUntagged {
+			res.Verdict = VerdictControl
+		} else {
+			res.Verdict = VerdictDropNoVLAN
+		}
+		f.counts[res.Verdict].Add(1)
+		return res
+	}
+	res.ModuleID = vid
+	if f.bitmap.Load()&(1<<(vid&31)) != 0 {
+		res.Verdict = VerdictDropUpdating
+		f.counts[VerdictDropUpdating].Add(1)
+		return res
+	}
+	res.Verdict = VerdictData
+	res.BufferTag = uint8(f.rrBuffer.Add(1)-1) & 3
+	if numParsers < 1 {
+		numParsers = 1
+	}
+	res.ParserNum = uint8((f.rrParser.Add(1) - 1) % uint32(numParsers))
+	f.counts[VerdictData].Add(1)
+	return res
+}
+
+// VerdictCount returns how many frames received the verdict.
+func (f *Filter) VerdictCount(v Verdict) uint64 {
+	if int(v) >= len(f.counts) {
+		return 0
+	}
+	return f.counts[v].Load()
+}
+
+func parserVLANID(data []byte) (uint16, error) {
+	var eth packet.Ethernet
+	if err := packet.DecodeEthernet(data, &eth); err != nil {
+		return 0, err
+	}
+	return eth.VLANID, nil
+}

@@ -1,0 +1,310 @@
+// Package sched implements the two traffic-management mechanisms the
+// paper delegates to the edges of the pipeline:
+//
+//   - Per-module token-bucket rate limiters (§5: "hardware rate limiters
+//     can be used to limit each module's packet/bit rate" when the
+//     minimum-size or no-recirculation assumptions are violated).
+//   - A PIFO (push-in first-out) scheduler (§3.5: "Proposals like PIFO
+//     can be used here, by assigning PIFO ranks to different modules to
+//     realize a desired inter-module bandwidth-sharing policy"), with a
+//     start-time-fair-queueing rank policy for weighted sharing of the
+//     output link.
+//
+// Both operate on a simulated clock supplied by the caller (seconds), so
+// experiments are deterministic.
+package sched
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+)
+
+// ErrNoSuchModule is returned when a limiter or weight is missing.
+var ErrNoSuchModule = errors.New("sched: module not configured")
+
+// TokenBucket is a standard token bucket: Rate tokens per second with a
+// Burst-sized bucket.
+type TokenBucket struct {
+	Rate   float64 // tokens per second
+	Burst  float64 // bucket depth
+	tokens float64
+	last   float64 // last update time (seconds)
+}
+
+// NewTokenBucket returns a full bucket.
+func NewTokenBucket(rate, burst float64) *TokenBucket {
+	return &TokenBucket{Rate: rate, Burst: burst, tokens: burst}
+}
+
+// Take consumes n tokens at time now; it reports false (consuming
+// nothing) if insufficient tokens have accumulated.
+func (b *TokenBucket) Take(n, now float64) bool {
+	if now > b.last {
+		b.tokens = math.Min(b.Burst, b.tokens+(now-b.last)*b.Rate)
+		b.last = now
+	}
+	if n > b.tokens {
+		return false
+	}
+	b.tokens -= n
+	return true
+}
+
+// Tokens reports the current fill (for tests).
+func (b *TokenBucket) Tokens() float64 { return b.tokens }
+
+// ModuleLimit is a module's ingress allowance (§2.1 performance
+// isolation: "each module should stay within its allotted ingress packets
+// per second and bits per second rates").
+type ModuleLimit struct {
+	PPS float64 // packets per second (0 = unlimited)
+	BPS float64 // bits per second (0 = unlimited)
+}
+
+// RateLimiter enforces per-module packet and bit rates at ingress.
+type RateLimiter struct {
+	mu      sync.Mutex
+	limits  map[uint16]ModuleLimit
+	pkts    map[uint16]*TokenBucket
+	bits    map[uint16]*TokenBucket
+	dropped map[uint16]uint64
+}
+
+// NewRateLimiter returns an empty limiter: unconfigured modules are
+// unlimited.
+func NewRateLimiter() *RateLimiter {
+	return &RateLimiter{
+		limits:  make(map[uint16]ModuleLimit),
+		pkts:    make(map[uint16]*TokenBucket),
+		bits:    make(map[uint16]*TokenBucket),
+		dropped: make(map[uint16]uint64),
+	}
+}
+
+// SetLimit installs (or replaces) a module's allowance. Burst is one
+// second's worth, floored at one packet / one MTU.
+func (r *RateLimiter) SetLimit(moduleID uint16, lim ModuleLimit) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.limits[moduleID] = lim
+	if lim.PPS > 0 {
+		r.pkts[moduleID] = NewTokenBucket(lim.PPS, math.Max(1, lim.PPS/100))
+	} else {
+		delete(r.pkts, moduleID)
+	}
+	if lim.BPS > 0 {
+		r.bits[moduleID] = NewTokenBucket(lim.BPS, math.Max(12000, lim.BPS/100))
+	} else {
+		delete(r.bits, moduleID)
+	}
+}
+
+// ClearLimit removes a module's allowance.
+func (r *RateLimiter) ClearLimit(moduleID uint16) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.limits, moduleID)
+	delete(r.pkts, moduleID)
+	delete(r.bits, moduleID)
+}
+
+// Allow charges one frame of the given size at time now (seconds) and
+// reports whether it is admitted. A frame must fit both buckets; a
+// rejection charges neither (no partial debit).
+func (r *RateLimiter) Allow(moduleID uint16, frameBytes int, now float64) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	pb := r.pkts[moduleID]
+	bb := r.bits[moduleID]
+	if pb == nil && bb == nil {
+		return true
+	}
+	bitsNeeded := float64(frameBytes * 8)
+	// Peek both before charging either.
+	if pb != nil && !pb.Take(1, now) {
+		r.dropped[moduleID]++
+		return false
+	}
+	if bb != nil && !bb.Take(bitsNeeded, now) {
+		if pb != nil {
+			pb.tokens++ // refund the packet token
+		}
+		r.dropped[moduleID]++
+		return false
+	}
+	return true
+}
+
+// Dropped reports how many frames were rejected for a module.
+func (r *RateLimiter) Dropped(moduleID uint16) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped[moduleID]
+}
+
+// Limit returns a module's configured allowance.
+func (r *RateLimiter) Limit(moduleID uint16) (ModuleLimit, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	lim, ok := r.limits[moduleID]
+	return lim, ok
+}
+
+// Item is one queued packet in a PIFO.
+type Item struct {
+	ModuleID uint16
+	Frame    []byte
+	Rank     float64
+	seq      uint64 // FIFO tiebreak for equal ranks
+}
+
+// PIFO is a push-in first-out queue: entries are pushed with a rank and
+// popped in rank order, the primitive from "Programmable Packet
+// Scheduling at Line Rate" the paper points to for inter-module
+// bandwidth sharing.
+type PIFO struct {
+	mu    sync.Mutex
+	h     pifoHeap
+	seq   uint64
+	limit int
+}
+
+// NewPIFO returns a queue holding at most limit entries (0 = unbounded).
+func NewPIFO(limit int) *PIFO {
+	return &PIFO{limit: limit}
+}
+
+// Push enqueues a frame with the given rank; it reports false when the
+// queue is full (tail drop).
+func (p *PIFO) Push(it Item) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.limit > 0 && p.h.Len() >= p.limit {
+		return false
+	}
+	it.seq = p.seq
+	p.seq++
+	heap.Push(&p.h, it)
+	return true
+}
+
+// Pop dequeues the lowest-ranked frame.
+func (p *PIFO) Pop() (Item, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.h.Len() == 0 {
+		return Item{}, false
+	}
+	return heap.Pop(&p.h).(Item), true
+}
+
+// Len reports the queue depth.
+func (p *PIFO) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.h.Len()
+}
+
+type pifoHeap []Item
+
+func (h pifoHeap) Len() int { return len(h) }
+func (h pifoHeap) Less(i, j int) bool {
+	if h[i].Rank != h[j].Rank {
+		return h[i].Rank < h[j].Rank
+	}
+	return h[i].seq < h[j].seq
+}
+func (h pifoHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *pifoHeap) Push(x any)   { *h = append(*h, x.(Item)) }
+func (h *pifoHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// WFQ assigns PIFO ranks with start-time fair queueing: each module gets
+// bandwidth proportional to its weight regardless of its offered load.
+type WFQ struct {
+	mu          sync.Mutex
+	weights     map[uint16]float64
+	lastFinish  map[uint16]float64
+	virtualTime float64
+}
+
+// NewWFQ returns a scheduler with no modules registered.
+func NewWFQ() *WFQ {
+	return &WFQ{weights: make(map[uint16]float64), lastFinish: make(map[uint16]float64)}
+}
+
+// SetWeight registers a module's share weight (must be > 0).
+func (w *WFQ) SetWeight(moduleID uint16, weight float64) error {
+	if weight <= 0 {
+		return fmt.Errorf("sched: weight must be positive, got %v", weight)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.weights[moduleID] = weight
+	return nil
+}
+
+// Rank computes the PIFO rank for one frame of a module: the virtual
+// start time of the frame under weighted fair queueing. OnPop must be
+// called with each dequeued item to advance virtual time.
+func (w *WFQ) Rank(moduleID uint16, frameBytes int) (float64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	weight, ok := w.weights[moduleID]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrNoSuchModule, moduleID)
+	}
+	start := math.Max(w.virtualTime, w.lastFinish[moduleID])
+	w.lastFinish[moduleID] = start + float64(frameBytes)/weight
+	return start, nil
+}
+
+// OnPop advances virtual time to the dequeued frame's rank.
+func (w *WFQ) OnPop(it Item) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if it.Rank > w.virtualTime {
+		w.virtualTime = it.Rank
+	}
+}
+
+// Scheduler couples a WFQ rank policy with a PIFO queue to share an
+// output link between modules (§3.5's suggested design).
+type Scheduler struct {
+	WFQ  *WFQ
+	PIFO *PIFO
+}
+
+// NewScheduler returns a WFQ+PIFO scheduler with the given queue bound.
+func NewScheduler(queueLimit int) *Scheduler {
+	return &Scheduler{WFQ: NewWFQ(), PIFO: NewPIFO(queueLimit)}
+}
+
+// Enqueue ranks and queues one frame.
+func (s *Scheduler) Enqueue(moduleID uint16, frame []byte) error {
+	rank, err := s.WFQ.Rank(moduleID, len(frame))
+	if err != nil {
+		return err
+	}
+	if !s.PIFO.Push(Item{ModuleID: moduleID, Frame: frame, Rank: rank}) {
+		return fmt.Errorf("sched: queue full, frame of module %d dropped", moduleID)
+	}
+	return nil
+}
+
+// Dequeue pops the next frame to transmit.
+func (s *Scheduler) Dequeue() (Item, bool) {
+	it, ok := s.PIFO.Pop()
+	if ok {
+		s.WFQ.OnPop(it)
+	}
+	return it, ok
+}

@@ -1,0 +1,273 @@
+package sched
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenBucketBasics(t *testing.T) {
+	b := NewTokenBucket(10, 5) // 10/s, burst 5
+	for i := 0; i < 5; i++ {
+		if !b.Take(1, 0) {
+			t.Fatalf("burst take %d failed", i)
+		}
+	}
+	if b.Take(1, 0) {
+		t.Fatal("empty bucket granted a token")
+	}
+	// After 0.5 s, 5 tokens accumulate.
+	if !b.Take(5, 0.5) {
+		t.Fatal("refill failed")
+	}
+	if b.Take(1, 0.5) {
+		t.Fatal("over-refill")
+	}
+}
+
+func TestTokenBucketCapsAtBurst(t *testing.T) {
+	b := NewTokenBucket(1000, 10)
+	if b.Take(11, 100) { // long idle still caps at burst
+		t.Fatal("bucket exceeded burst depth")
+	}
+	if !b.Take(10, 100) {
+		t.Fatal("full burst should be available")
+	}
+}
+
+func TestRateLimiterPPS(t *testing.T) {
+	r := NewRateLimiter()
+	r.SetLimit(1, ModuleLimit{PPS: 100}) // burst 1 (100/100)
+	admitted := 0
+	for i := 0; i < 50; i++ {
+		now := float64(i) * 0.001 // 1 kpps offered
+		if r.Allow(1, 100, now) {
+			admitted++
+		}
+	}
+	// 50 ms at 100 pps ≈ 5 packets + 1 burst.
+	if admitted < 4 || admitted > 8 {
+		t.Errorf("admitted = %d, want ~5-6", admitted)
+	}
+	if r.Dropped(1) != uint64(50-admitted) {
+		t.Errorf("dropped = %d", r.Dropped(1))
+	}
+}
+
+func TestRateLimiterBPS(t *testing.T) {
+	r := NewRateLimiter()
+	r.SetLimit(2, ModuleLimit{BPS: 1e6}) // 1 Mbit/s, burst 12 kbit
+	big := 1500                          // 12 kbit frames
+	if !r.Allow(2, big, 0) {
+		t.Fatal("first MTU frame should pass on burst")
+	}
+	if r.Allow(2, big, 0) {
+		t.Fatal("second immediate MTU frame should exceed the burst")
+	}
+	if !r.Allow(2, big, 0.012) { // 12 ms refills 12 kbit
+		t.Fatal("refilled frame rejected")
+	}
+}
+
+func TestRateLimiterUnlimitedByDefault(t *testing.T) {
+	r := NewRateLimiter()
+	for i := 0; i < 1000; i++ {
+		if !r.Allow(9, 1500, 0) {
+			t.Fatal("unconfigured module limited")
+		}
+	}
+	r.SetLimit(9, ModuleLimit{PPS: 1})
+	if _, ok := r.Limit(9); !ok {
+		t.Fatal("limit not recorded")
+	}
+	r.ClearLimit(9)
+	for i := 0; i < 100; i++ {
+		if !r.Allow(9, 1500, 0) {
+			t.Fatal("cleared module still limited")
+		}
+	}
+}
+
+func TestRateLimiterIsolation(t *testing.T) {
+	// Exhausting module 1's allowance must not affect module 2.
+	r := NewRateLimiter()
+	r.SetLimit(1, ModuleLimit{PPS: 10})
+	r.SetLimit(2, ModuleLimit{PPS: 10})
+	for i := 0; i < 100; i++ {
+		r.Allow(1, 100, 0)
+	}
+	if !r.Allow(2, 100, 0) {
+		t.Fatal("module 2 starved by module 1's excess")
+	}
+}
+
+func TestRateLimiterRefundsOnBitReject(t *testing.T) {
+	// Packet bucket of depth 1; bit bucket of one MTU. A frame rejected
+	// by the bit bucket must refund its packet token, or the later small
+	// frame (which both buckets can afford) would be wrongly dropped.
+	r := NewRateLimiter()
+	r.SetLimit(1, ModuleLimit{PPS: 2, BPS: 12000}) // pkt burst = 1
+	if !r.Allow(1, 1500, 0) {
+		t.Fatal("first frame should pass")
+	}
+	// t=0.5: packet bucket refills to 1; bit bucket to 6000 bits.
+	if r.Allow(1, 1500, 0.5) {
+		t.Fatal("MTU frame should be bit-limited at t=0.5")
+	}
+	if !r.Allow(1, 10, 0.5) {
+		t.Fatal("packet token was not refunded on bit reject")
+	}
+}
+
+func TestPIFOOrdering(t *testing.T) {
+	p := NewPIFO(0)
+	p.Push(Item{ModuleID: 1, Rank: 3})
+	p.Push(Item{ModuleID: 2, Rank: 1})
+	p.Push(Item{ModuleID: 3, Rank: 2})
+	var order []uint16
+	for {
+		it, ok := p.Pop()
+		if !ok {
+			break
+		}
+		order = append(order, it.ModuleID)
+	}
+	want := []uint16{2, 3, 1}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("pop order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestPIFOFIFOTiebreak(t *testing.T) {
+	p := NewPIFO(0)
+	for i := uint16(0); i < 5; i++ {
+		p.Push(Item{ModuleID: i, Rank: 7})
+	}
+	for i := uint16(0); i < 5; i++ {
+		it, _ := p.Pop()
+		if it.ModuleID != i {
+			t.Fatalf("equal ranks must pop FIFO; got module %d at position %d", it.ModuleID, i)
+		}
+	}
+}
+
+func TestPIFOTailDrop(t *testing.T) {
+	p := NewPIFO(2)
+	if !p.Push(Item{Rank: 1}) || !p.Push(Item{Rank: 2}) {
+		t.Fatal("pushes under limit failed")
+	}
+	if p.Push(Item{Rank: 0}) {
+		t.Fatal("full queue accepted a push")
+	}
+	if p.Len() != 2 {
+		t.Fatalf("len = %d", p.Len())
+	}
+}
+
+func TestWFQProportionalSharing(t *testing.T) {
+	// Weights 3:1 — with both modules backlogged, dequeues should split
+	// bytes roughly 3:1.
+	s := NewScheduler(0)
+	if err := s.WFQ.SetWeight(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WFQ.SetWeight(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	frame := make([]byte, 1000)
+	for i := 0; i < 400; i++ {
+		if err := s.Enqueue(1, frame); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Enqueue(2, frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	counts := map[uint16]int{}
+	for i := 0; i < 400; i++ { // drain half the queue
+		it, ok := s.Dequeue()
+		if !ok {
+			t.Fatal("queue drained early")
+		}
+		counts[it.ModuleID]++
+	}
+	ratio := float64(counts[1]) / float64(counts[2])
+	if math.Abs(ratio-3) > 0.3 {
+		t.Errorf("dequeue ratio = %.2f (%v), want ~3", ratio, counts)
+	}
+}
+
+func TestWFQUnregisteredModule(t *testing.T) {
+	s := NewScheduler(0)
+	if err := s.Enqueue(5, make([]byte, 100)); !errors.Is(err, ErrNoSuchModule) {
+		t.Errorf("err = %v", err)
+	}
+	if err := s.WFQ.SetWeight(5, 0); err == nil {
+		t.Error("zero weight accepted")
+	}
+}
+
+func TestWFQWorkConserving(t *testing.T) {
+	// With only one backlogged module, it gets the whole link.
+	s := NewScheduler(0)
+	_ = s.WFQ.SetWeight(1, 1)
+	_ = s.WFQ.SetWeight(2, 100)
+	frame := make([]byte, 100)
+	for i := 0; i < 10; i++ {
+		if err := s.Enqueue(1, frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		it, ok := s.Dequeue()
+		if !ok || it.ModuleID != 1 {
+			t.Fatal("sole backlogged module starved")
+		}
+	}
+}
+
+// Property: PIFO pops are monotone in rank.
+func TestQuickPIFOMonotone(t *testing.T) {
+	f := func(ranks []uint16) bool {
+		p := NewPIFO(0)
+		for _, r := range ranks {
+			p.Push(Item{Rank: float64(r)})
+		}
+		prev := math.Inf(-1)
+		for {
+			it, ok := p.Pop()
+			if !ok {
+				return true
+			}
+			if it.Rank < prev {
+				return false
+			}
+			prev = it.Rank
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a token bucket never goes negative and never exceeds burst.
+func TestQuickBucketInvariant(t *testing.T) {
+	f := func(takes []uint8) bool {
+		b := NewTokenBucket(100, 50)
+		now := 0.0
+		for _, n := range takes {
+			now += float64(n%10) / 100
+			b.Take(float64(n%20), now)
+			if b.Tokens() < 0 || b.Tokens() > b.Burst+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

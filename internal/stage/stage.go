@@ -1,0 +1,340 @@
+// Package stage implements one Menshen match-action processing stage
+// (Figure 4 of the paper): a key extractor and key mask (overlay tables
+// indexed by module ID), the module-ID-augmented exact-match CAM, the VLIW
+// action table, the action engine, and stateful memory behind a segment
+// table.
+package stage
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/alu"
+	"repro/internal/phv"
+	"repro/internal/tables"
+)
+
+// Errors.
+var (
+	ErrNoAction = errors.New("stage: CAM hit but no VLIW action installed")
+)
+
+// Operand is one 8-bit predicate operand from the key extractor entry:
+// either a PHV container (by ALU slot) or a small immediate. The top bit
+// selects the interpretation.
+type Operand struct {
+	IsContainer bool
+	Slot        uint8 // ALU slot 0-24 when IsContainer
+	Imm         uint8 // 7-bit immediate otherwise
+}
+
+// Encode packs the operand into 8 bits.
+func (o Operand) Encode() uint8 {
+	if o.IsContainer {
+		return 0x80 | o.Slot&0x1f
+	}
+	return o.Imm & 0x7f
+}
+
+// DecodeOperand unpacks an 8-bit operand.
+func DecodeOperand(v uint8) Operand {
+	if v&0x80 != 0 {
+		return Operand{IsContainer: true, Slot: v & 0x1f}
+	}
+	return Operand{Imm: v & 0x7f}
+}
+
+// value resolves the operand against a PHV.
+func (o Operand) value(p *phv.PHV) (uint64, error) {
+	if !o.IsContainer {
+		return uint64(o.Imm), nil
+	}
+	r, err := phv.RefForALU(int(o.Slot))
+	if err != nil {
+		return 0, err
+	}
+	if r.Type == phv.TypeMeta {
+		return 0, fmt.Errorf("stage: metadata container is not a valid predicate operand")
+	}
+	return p.Get(r)
+}
+
+// PredOp is the 4-bit comparison opcode for conditional execution (§4.1).
+type PredOp uint8
+
+// Comparison operators. PredNone yields a constant-false predicate bit, so
+// unconditioned modules install their match entries with the bit clear.
+const (
+	PredNone PredOp = iota
+	PredEq
+	PredNe
+	PredLt
+	PredGt
+	PredLe
+	PredGe
+	predMax
+)
+
+// String implements fmt.Stringer.
+func (op PredOp) String() string {
+	switch op {
+	case PredNone:
+		return "none"
+	case PredEq:
+		return "=="
+	case PredNe:
+		return "!="
+	case PredLt:
+		return "<"
+	case PredGt:
+		return ">"
+	case PredLe:
+		return "<="
+	case PredGe:
+		return ">="
+	}
+	return fmt.Sprintf("PredOp(%d)", uint8(op))
+}
+
+// Eval applies the comparison.
+func (op PredOp) Eval(a, b uint64) bool {
+	switch op {
+	case PredEq:
+		return a == b
+	case PredNe:
+		return a != b
+	case PredLt:
+		return a < b
+	case PredGt:
+		return a > b
+	case PredLe:
+		return a <= b
+	case PredGe:
+		return a >= b
+	}
+	return false
+}
+
+// KeyExtractEntry is one 38-bit key-extractor table entry (Figure 7):
+// six 3-bit container indices (two per size class) followed by the 4-bit
+// predicate opcode and two 8-bit operands.
+//
+// The key is the concatenation of the selected containers in the wire
+// order 1st6B, 2nd6B, 1st4B, 2nd4B, 1st2B, 2nd2B — 24 bytes — plus the
+// predicate result bit, for 193 bits total.
+type KeyExtractEntry struct {
+	C6     [2]uint8 // indices into the 6-byte containers
+	C4     [2]uint8 // indices into the 4-byte containers
+	C2     [2]uint8 // indices into the 2-byte containers
+	PredOp PredOp
+	PredA  Operand
+	PredB  Operand
+}
+
+// EntryBits is the wire width of a key-extractor entry.
+const EntryBits = 38
+
+// Encode packs the entry into its 38-bit wire form (low bits of uint64).
+func (e KeyExtractEntry) Encode() uint64 {
+	var v uint64
+	for _, idx := range []uint8{e.C6[0], e.C6[1], e.C4[0], e.C4[1], e.C2[0], e.C2[1]} {
+		v = v<<3 | uint64(idx&0x7)
+	}
+	v = v<<4 | uint64(e.PredOp&0xf)
+	v = v<<8 | uint64(e.PredA.Encode())
+	v = v<<8 | uint64(e.PredB.Encode())
+	return v
+}
+
+// DecodeKeyExtractEntry unpacks a 38-bit entry.
+func DecodeKeyExtractEntry(v uint64) KeyExtractEntry {
+	var e KeyExtractEntry
+	e.PredB = DecodeOperand(uint8(v))
+	v >>= 8
+	e.PredA = DecodeOperand(uint8(v))
+	v >>= 8
+	e.PredOp = PredOp(v & 0xf)
+	v >>= 4
+	e.C2[1] = uint8(v & 0x7)
+	v >>= 3
+	e.C2[0] = uint8(v & 0x7)
+	v >>= 3
+	e.C4[1] = uint8(v & 0x7)
+	v >>= 3
+	e.C4[0] = uint8(v & 0x7)
+	v >>= 3
+	e.C6[1] = uint8(v & 0x7)
+	v >>= 3
+	e.C6[0] = uint8(v & 0x7)
+	return e
+}
+
+// Validate checks index and opcode ranges.
+func (e KeyExtractEntry) Validate() error {
+	for _, idx := range []uint8{e.C6[0], e.C6[1], e.C4[0], e.C4[1], e.C2[0], e.C2[1]} {
+		if int(idx) >= phv.NumPerType {
+			return fmt.Errorf("stage: container index %d out of range", idx)
+		}
+	}
+	if e.PredOp >= predMax {
+		return fmt.Errorf("stage: predicate opcode %d out of range", e.PredOp)
+	}
+	return nil
+}
+
+// ExtractKey builds the padded 193-bit lookup key from the PHV: container
+// concatenation plus the predicate bit.
+func (e KeyExtractEntry) ExtractKey(p *phv.PHV) (tables.Key, error) {
+	var k tables.Key
+	off := 0
+	put := func(b []byte) {
+		copy(k[off:], b)
+		off += len(b)
+	}
+	put(p.C6[e.C6[0]&0x7][:])
+	put(p.C6[e.C6[1]&0x7][:])
+	put(p.C4[e.C4[0]&0x7][:])
+	put(p.C4[e.C4[1]&0x7][:])
+	put(p.C2[e.C2[0]&0x7][:])
+	put(p.C2[e.C2[1]&0x7][:])
+
+	pred := false
+	if e.PredOp != PredNone {
+		av, err := e.PredA.value(p)
+		if err != nil {
+			return k, err
+		}
+		bv, err := e.PredB.value(p)
+		if err != nil {
+			return k, err
+		}
+		pred = e.PredOp.Eval(av, bv)
+	}
+	return k.WithPredicate(pred), nil
+}
+
+// Stage is one match-action stage with Menshen's isolation primitives.
+type Stage struct {
+	// Extract and Mask are the overlay tables for key construction,
+	// indexed by module ID (§3.1).
+	Extract *tables.Overlay[KeyExtractEntry]
+	Mask    *tables.Overlay[tables.Key]
+	// Match is the module-ID-augmented CAM; Actions the VLIW table it
+	// indexes. Both are space-partitioned across modules.
+	Match   *tables.CAM
+	Actions *alu.Table
+	// Memory is the stage's stateful memory, reached through Segments.
+	Memory   *tables.StatefulMemory
+	Segments *tables.SegmentTable
+}
+
+// Config sets the stage geometry.
+type Config struct {
+	OverlayDepth int // per-module entries in extractor/mask/segment tables
+	CAMDepth     int // match + action entries
+	MemoryWords  int // stateful memory words
+}
+
+// DefaultConfig is the prototype geometry of Table 5.
+func DefaultConfig() Config {
+	return Config{
+		OverlayDepth: tables.OverlayDepth,
+		CAMDepth:     tables.CAMDepth,
+		MemoryWords:  tables.MemoryWords,
+	}
+}
+
+// New returns a stage with the given geometry.
+func New(cfg Config) *Stage {
+	return &Stage{
+		Extract:  tables.NewOverlay[KeyExtractEntry](cfg.OverlayDepth),
+		Mask:     tables.NewOverlay[tables.Key](cfg.OverlayDepth),
+		Match:    tables.NewCAM(cfg.CAMDepth),
+		Actions:  alu.NewTable(cfg.CAMDepth),
+		Memory:   tables.NewStatefulMemory(cfg.MemoryWords),
+		Segments: tables.NewSegmentTable(cfg.OverlayDepth),
+	}
+}
+
+// Result reports what one stage did to one PHV, for statistics and cycle
+// accounting.
+type Result struct {
+	// Active is true when the module had a key-extractor entry here; an
+	// inactive stage passes the PHV through untouched.
+	Active bool
+	// Hit is true when the CAM matched.
+	Hit bool
+	// ActionAddr is the matched CAM/action address when Hit.
+	ActionAddr int
+	// MemOps counts stateful-memory operations performed.
+	MemOps int
+}
+
+// Process runs one PHV through the stage: key extraction (with per-module
+// mask), CAM lookup with the module ID appended, and VLIW action
+// execution. A module with no configuration in this stage is passed
+// through; a CAM miss executes no action (the prototype has no default
+// actions).
+func (s *Stage) Process(p *phv.PHV) (Result, error) {
+	var res Result
+	modIdx := int(p.ModuleID)
+	entry, ok := s.Extract.Lookup(modIdx)
+	if !ok {
+		return res, nil
+	}
+	res.Active = true
+
+	key, err := entry.ExtractKey(p)
+	if err != nil {
+		return res, err
+	}
+	if mask, ok := s.Mask.Lookup(modIdx); ok {
+		key = key.Masked(mask)
+	}
+
+	addr, hit := s.Match.Lookup(key, p.ModuleID)
+	if !hit {
+		return res, nil
+	}
+	res.Hit = true
+	res.ActionAddr = addr
+
+	action, ok := s.Actions.Lookup(addr)
+	if !ok {
+		return res, fmt.Errorf("%w: address %d", ErrNoAction, addr)
+	}
+	env := alu.Env{PHV: p, Memory: s.Memory, Segments: s.Segments, ModIdx: modIdx}
+	memOps, err := alu.Execute(&action, &env)
+	res.MemOps = memOps
+	return res, err
+}
+
+// ClearModule removes every per-module configuration and match entry for
+// the module index, and zeroes its stateful-memory segment so no state
+// leaks to a future tenant of the same slice. Other modules' entries are
+// untouched.
+func (s *Stage) ClearModule(modIdx int) error {
+	if seg, ok := s.Segments.Lookup(modIdx); ok {
+		if err := s.Memory.ZeroRange(uint64(seg.Base), uint64(seg.Range)); err != nil {
+			return err
+		}
+	}
+	if err := s.Extract.Clear(modIdx); err != nil {
+		return err
+	}
+	if err := s.Mask.Clear(modIdx); err != nil {
+		return err
+	}
+	if err := s.Segments.Clear(modIdx); err != nil {
+		return err
+	}
+	for addr := 0; addr < s.Actions.Depth(); addr++ {
+		if e, err := s.Match.Entry(addr); err == nil && e.Valid && int(e.ModID) == modIdx {
+			if err := s.Actions.Clear(addr); err != nil {
+				return err
+			}
+		}
+	}
+	s.Match.ClearModule(uint16(modIdx))
+	return nil
+}

@@ -1,0 +1,171 @@
+package sysmod
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/packet"
+	"repro/internal/parser"
+	"repro/internal/phv"
+)
+
+func emptyTenant(id uint16) *core.ModuleConfig {
+	return &core.ModuleConfig{
+		ModuleID: id,
+		Name:     "tenant",
+		Stages:   make([]core.StageConfig, core.NumStages),
+	}
+}
+
+func TestTenantStages(t *testing.T) {
+	lo, hi := TenantStages()
+	if lo != 1 || hi != core.NumStages-2 {
+		t.Errorf("TenantStages = %d,%d", lo, hi)
+	}
+}
+
+func TestAugmentInstallsSystemStages(t *testing.T) {
+	c := NewConfig()
+	c.AddRoute(1, packet.IPv4Addr{10, 0, 0, 9}, 3)
+	m := emptyTenant(1)
+	if err := c.Augment(m); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Stages[FirstStage].Used || !m.Stages[LastStage].Used {
+		t.Fatal("system stages not installed")
+	}
+	// First stage: single match-all stats rule with a segment.
+	fs := m.Stages[FirstStage]
+	if len(fs.Rules) != 1 || fs.SegmentWords != 1 {
+		t.Errorf("first stage = %+v", fs)
+	}
+	// Last stage: one route + default.
+	ls := m.Stages[LastStage]
+	if len(ls.Rules) != 2 {
+		t.Errorf("last stage rules = %d", len(ls.Rules))
+	}
+	// Shared parser actions merged.
+	found := 0
+	for _, a := range m.Parser.Actions {
+		if a.Valid && (a.Dest == RefSrcIP || a.Dest == RefDstIP) {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Errorf("shared parser actions = %d", found)
+	}
+}
+
+func TestAugmentRejectsSystemStageUse(t *testing.T) {
+	c := NewConfig()
+	m := emptyTenant(1)
+	m.Stages[FirstStage].Used = true
+	if err := c.Augment(m); err == nil {
+		t.Error("tenant claiming stage 0 accepted")
+	}
+}
+
+func TestAugmentRejectsReservedContainer(t *testing.T) {
+	c := NewConfig()
+	m := emptyTenant(1)
+	m.Parser.Actions[0] = parser.Action{Offset: 30, Dest: RefSrcIP, Valid: true}
+	if err := c.Augment(m); err == nil {
+		t.Error("tenant parsing into reserved container accepted")
+	}
+}
+
+func TestAugmentRejectsFullParser(t *testing.T) {
+	c := NewConfig()
+	m := emptyTenant(1)
+	for i := range m.Parser.Actions {
+		m.Parser.Actions[i] = parser.Action{
+			Offset: uint8(20 + 2*i),
+			Dest:   phv.Ref{Type: phv.Type2B, Index: uint8(i % 8)},
+			Valid:  true,
+		}
+	}
+	if err := c.Augment(m); err == nil {
+		t.Error("no free parser slots but augment succeeded")
+	}
+}
+
+func TestAugmentDefaultPortRouting(t *testing.T) {
+	c := NewConfig()
+	c.DefaultPort = 9
+	m := emptyTenant(2)
+	if err := c.Augment(m); err != nil {
+		t.Fatal(err)
+	}
+	ls := m.Stages[LastStage]
+	if len(ls.Rules) != 1 {
+		t.Fatalf("rules = %d", len(ls.Rules))
+	}
+	metaSlot, _ := phv.ALUIndex(phv.Ref{Type: phv.TypeMeta})
+	if ls.Rules[0].Action[metaSlot].Imm != 9 {
+		t.Error("default port action missing")
+	}
+}
+
+func TestTrafficManagerExpand(t *testing.T) {
+	c := NewConfig()
+	c.AddMulticastGroup(200, []uint8{1, 2, 3})
+	tm := NewTrafficManager(c)
+	got := tm.Expand(200)
+	if len(got) != 3 {
+		t.Errorf("Expand(200) = %v", got)
+	}
+	got = tm.Expand(5)
+	if len(got) != 1 || got[0] != 5 {
+		t.Errorf("Expand(5) = %v", got)
+	}
+}
+
+func TestTrafficManagerCopiesMembers(t *testing.T) {
+	c := NewConfig()
+	members := []uint8{1, 2}
+	c.AddMulticastGroup(100, members)
+	tm := NewTrafficManager(c)
+	members[0] = 99 // mutate the caller's slice
+	if tm.Expand(100)[0] != 1 {
+		t.Error("traffic manager aliases caller's member slice")
+	}
+	out := tm.Expand(100)
+	out[0] = 77
+	if tm.Expand(100)[0] != 1 {
+		t.Error("Expand returns aliased group storage")
+	}
+}
+
+func TestVIPScopedPerTenant(t *testing.T) {
+	// The same vIP routes differently for two tenants.
+	c := NewConfig()
+	vip := packet.IPv4Addr{10, 0, 0, 1}
+	c.AddRoute(1, vip, 1)
+	c.AddRoute(2, vip, 2)
+
+	m1, m2 := emptyTenant(1), emptyTenant(2)
+	if err := c.Augment(m1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Augment(m2); err != nil {
+		t.Fatal(err)
+	}
+	metaSlot, _ := phv.ALUIndex(phv.Ref{Type: phv.TypeMeta})
+	p1 := m1.Stages[LastStage].Rules[0].Action[metaSlot].Imm
+	p2 := m2.Stages[LastStage].Rules[0].Action[metaSlot].Imm
+	if p1 != 1 || p2 != 2 {
+		t.Errorf("ports = %d,%d; vIPs must be tenant-scoped", p1, p2)
+	}
+}
+
+func TestParserActionOffsets(t *testing.T) {
+	// The shared fields sit at the canonical VLAN-tagged IPv4 offsets.
+	if OffSrcIP != 30 || OffDstIP != 34 {
+		t.Errorf("offsets = %d,%d", OffSrcIP, OffDstIP)
+	}
+	for _, a := range ParserActions() {
+		if err := a.Validate(); err != nil {
+			t.Errorf("system parse action invalid: %v", err)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+// Cuckoo-hash exact matching: the §4.3 alternative to the CAM ("the
+// depth can be improved by using a hash table, rather than a CAM, for
+// exact matching, e.g., cuckoo hashing"). The module ID is matched along
+// with the key, preserving Menshen's isolation property, and each entry
+// carries an action address, decoupling table depth from the VLIW table.
+
+package tables
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrCuckooFull is returned when insertion cannot place an entry after
+// the relocation bound; the table is left exactly as it was (failed
+// inserts roll their evictions back).
+var ErrCuckooFull = errors.New("tables: cuckoo table full (relocation bound hit)")
+
+// cuckooWays is the bucket associativity; 4-way buckets push achievable
+// load factors above 90%.
+const cuckooWays = 4
+
+// cuckooSlot is one bucket slot.
+type cuckooSlot struct {
+	valid bool
+	modID uint16
+	key   Key
+	addr  int
+}
+
+type cuckooBucket [cuckooWays]cuckooSlot
+
+// Cuckoo is a two-choice, 4-way set-associative cuckoo hash table
+// mapping (key, module ID) to an action address. Exact match only; like
+// the CAM, lookups of one module can never return another module's
+// entries.
+type Cuckoo struct {
+	mu      sync.RWMutex
+	buckets [2][]cuckooBucket
+	nb      int // buckets per side
+	used    int
+	// maxKicks bounds the relocation chain.
+	maxKicks int
+}
+
+// NewCuckoo returns a table with capacity for about `capacity` entries
+// (rounded up to whole buckets).
+func NewCuckoo(capacity int) *Cuckoo {
+	nb := (capacity + 2*cuckooWays - 1) / (2 * cuckooWays)
+	if nb < 1 {
+		nb = 1
+	}
+	c := &Cuckoo{nb: nb, maxKicks: 8 * nb * cuckooWays}
+	c.buckets[0] = make([]cuckooBucket, nb)
+	c.buckets[1] = make([]cuckooBucket, nb)
+	return c
+}
+
+// Capacity returns the total slot count.
+func (c *Cuckoo) Capacity() int { return 2 * c.nb * cuckooWays }
+
+// Used returns the number of occupied slots.
+func (c *Cuckoo) Used() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.used
+}
+
+// hash mixes the key and module ID with FNV-1a, salted per table side.
+func (c *Cuckoo) hash(side int, key Key, modID uint16) int {
+	const prime64 = 1099511628211
+	h := uint64(14695981039346656037) ^ uint64(side+1)*0x9e3779b97f4a7c15
+	h = (h ^ uint64(modID)) * prime64
+	for _, b := range key {
+		h = (h ^ uint64(b)) * prime64
+	}
+	return int(h % uint64(c.nb))
+}
+
+// findLocked returns the slot holding (key, modID), or nil.
+func (c *Cuckoo) findLocked(key Key, modID uint16) *cuckooSlot {
+	for side := 0; side < 2; side++ {
+		b := &c.buckets[side][c.hash(side, key, modID)]
+		for w := range b {
+			s := &b[w]
+			if s.valid && s.modID == modID && s.key == key {
+				return s
+			}
+		}
+	}
+	return nil
+}
+
+// Insert places (key, modID) -> addr, relocating existing entries as
+// needed. Duplicate keys update the stored address in place. On failure
+// every eviction is rolled back, leaving the table unchanged.
+func (c *Cuckoo) Insert(key Key, modID uint16, addr int) error {
+	modID &= MaxModuleID
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	if s := c.findLocked(key, modID); s != nil {
+		s.addr = addr
+		return nil
+	}
+
+	type step struct {
+		side, idx, way int
+	}
+	var path []step
+	cur := cuckooSlot{valid: true, modID: modID, key: key, addr: addr}
+	side := 0
+	for kick := 0; kick <= c.maxKicks; kick++ {
+		idx := c.hash(side, cur.key, cur.modID)
+		b := &c.buckets[side][idx]
+		for w := range b {
+			if !b[w].valid {
+				b[w] = cur
+				c.used++
+				return nil
+			}
+		}
+		// Bucket full: evict a deterministic victim and continue on the
+		// other side.
+		w := kick % cuckooWays
+		path = append(path, step{side, idx, w})
+		cur, b[w] = b[w], cur
+		side = 1 - side
+	}
+	// Failure: walk the eviction path backwards, undoing each swap, so
+	// the displaced survivor chain is restored and the new key is out.
+	for i := len(path) - 1; i >= 0; i-- {
+		st := path[i]
+		b := &c.buckets[st.side][st.idx]
+		cur, b[st.way] = b[st.way], cur
+	}
+	return fmt.Errorf("%w: after %d kicks", ErrCuckooFull, c.maxKicks)
+}
+
+// Lookup returns the action address for (key, modID).
+func (c *Cuckoo) Lookup(key Key, modID uint16) (int, bool) {
+	modID &= MaxModuleID
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for side := 0; side < 2; side++ {
+		b := &c.buckets[side][c.hash(side, key, modID)]
+		for w := range b {
+			s := &b[w]
+			if s.valid && s.modID == modID && s.key == key {
+				return s.addr, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Delete removes (key, modID).
+func (c *Cuckoo) Delete(key Key, modID uint16) bool {
+	modID &= MaxModuleID
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s := c.findLocked(key, modID); s != nil {
+		*s = cuckooSlot{}
+		c.used--
+		return true
+	}
+	return false
+}
+
+// ClearModule removes every entry of a module, returning the count — the
+// same per-module clearing contract as the CAM.
+func (c *Cuckoo) ClearModule(modID uint16) int {
+	modID &= MaxModuleID
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for side := range c.buckets {
+		for i := range c.buckets[side] {
+			b := &c.buckets[side][i]
+			for w := range b {
+				if b[w].valid && b[w].modID == modID {
+					b[w] = cuckooSlot{}
+					c.used--
+					n++
+				}
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,155 @@
+package tables
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func ckey(v uint32) Key {
+	var k Key
+	k[0], k[1], k[2], k[3] = byte(v>>24), byte(v>>16), byte(v>>8), byte(v)
+	return k
+}
+
+func TestCuckooInsertLookup(t *testing.T) {
+	c := NewCuckoo(96)
+	for i := uint32(0); i < 80; i++ { // 83% load
+		if err := c.Insert(ckey(i), 1, int(i)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if c.Used() != 80 {
+		t.Errorf("used = %d", c.Used())
+	}
+	for i := uint32(0); i < 80; i++ {
+		addr, ok := c.Lookup(ckey(i), 1)
+		if !ok || addr != int(i) {
+			t.Fatalf("lookup %d = %d,%v", i, addr, ok)
+		}
+	}
+	if _, ok := c.Lookup(ckey(999), 1); ok {
+		t.Error("absent key found")
+	}
+}
+
+func TestCuckooModuleIsolation(t *testing.T) {
+	c := NewCuckoo(16)
+	if err := c.Insert(ckey(7), 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert(ckey(7), 2, 20); err != nil {
+		t.Fatal(err)
+	}
+	a1, _ := c.Lookup(ckey(7), 1)
+	a2, _ := c.Lookup(ckey(7), 2)
+	if a1 != 10 || a2 != 20 {
+		t.Errorf("cross-module confusion: %d %d", a1, a2)
+	}
+	if _, ok := c.Lookup(ckey(7), 3); ok {
+		t.Error("module 3 matched another module's entry")
+	}
+}
+
+func TestCuckooUpdateInPlace(t *testing.T) {
+	c := NewCuckoo(8)
+	if err := c.Insert(ckey(1), 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert(ckey(1), 1, 9); err != nil {
+		t.Fatal(err)
+	}
+	if c.Used() != 1 {
+		t.Errorf("duplicate insert grew table: used=%d", c.Used())
+	}
+	addr, _ := c.Lookup(ckey(1), 1)
+	if addr != 9 {
+		t.Errorf("addr = %d", addr)
+	}
+}
+
+func TestCuckooDelete(t *testing.T) {
+	c := NewCuckoo(8)
+	_ = c.Insert(ckey(1), 1, 5)
+	if !c.Delete(ckey(1), 1) {
+		t.Fatal("delete failed")
+	}
+	if c.Delete(ckey(1), 1) {
+		t.Fatal("double delete succeeded")
+	}
+	if _, ok := c.Lookup(ckey(1), 1); ok {
+		t.Fatal("deleted key found")
+	}
+}
+
+func TestCuckooClearModule(t *testing.T) {
+	c := NewCuckoo(32)
+	for i := uint32(0); i < 10; i++ {
+		_ = c.Insert(ckey(i), uint16(i%2), int(i))
+	}
+	if n := c.ClearModule(0); n != 5 {
+		t.Errorf("cleared %d, want 5", n)
+	}
+	for i := uint32(0); i < 10; i++ {
+		_, ok := c.Lookup(ckey(i), uint16(i%2))
+		if (i%2 == 0) == ok {
+			t.Errorf("key %d: ok=%v", i, ok)
+		}
+	}
+}
+
+func TestCuckooFillsWellBeyondCAMDepth(t *testing.T) {
+	// §4.3: a hash table lifts the 16-entry-per-stage bound. Shows a
+	// 256-slot cuckoo accepting >=90% load.
+	c := NewCuckoo(256)
+	inserted := 0
+	for i := uint32(0); i < 250; i++ {
+		if err := c.Insert(ckey(i*2654435761), 3, int(i)); err != nil {
+			if !errors.Is(err, ErrCuckooFull) {
+				t.Fatal(err)
+			}
+			break
+		}
+		inserted++
+	}
+	if inserted < 230 {
+		t.Errorf("only %d/250 inserted before full (load %.0f%%)", inserted, float64(inserted)/float64(c.Capacity())*100)
+	}
+}
+
+// Property: whatever is successfully inserted is found with its address,
+// under interleaved deletes.
+func TestQuickCuckooConsistency(t *testing.T) {
+	f := func(keys []uint32, deletes []uint8) bool {
+		c := NewCuckoo(64)
+		want := map[uint32]int{}
+		for i, k := range keys {
+			if len(want) > 56 {
+				break
+			}
+			if err := c.Insert(ckey(k), 1, i); err != nil {
+				continue
+			}
+			want[k] = i
+		}
+		for _, d := range deletes {
+			k := uint32(d)
+			if _, present := want[k]; present {
+				if !c.Delete(ckey(k), 1) {
+					return false
+				}
+				delete(want, k)
+			}
+		}
+		for k, addr := range want {
+			got, ok := c.Lookup(ckey(k), 1)
+			if !ok || got != addr {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,450 @@
+// Package tables implements the memory structures of the Menshen pipeline:
+//
+//   - Overlay: a small SRAM array indexed by module ID, the hardware
+//     primitive Menshen adds for sharing one resource (parser, key
+//     extractor, key mask, segment table, deparser) across modules (§3).
+//   - CAM: the per-stage match table (exact match, with the ternary mode
+//     of Appendix B), whose entries carry the module ID appended to the
+//     key so one module's packets can never match another's rules.
+//   - SegmentTable: per-module base/range translation for stateful memory.
+//   - StatefulMemory: the per-stage persistent state RAM.
+//
+// Geometry defaults follow Table 5 of the paper: overlay depth 32 (the
+// maximum number of modules), CAM depth 16 per stage, 193-bit keys plus a
+// 12-bit module ID for a 205-bit CAM width.
+package tables
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Geometry constants from Table 5.
+const (
+	// OverlayDepth is the number of per-module entries in each isolation
+	// primitive, bounding the number of simultaneously loaded modules.
+	OverlayDepth = 32
+	// CAMDepth is the number of match entries per stage in the prototype.
+	CAMDepth = 16
+	// KeyBytes is the byte length of a padded lookup key: 24 bytes of
+	// container data plus one predicate bit, stored as 25 bytes (193 bits).
+	KeyBytes = 25
+	// KeyBits is the number of meaningful key bits (24*8 + 1).
+	KeyBits = 193
+	// ModuleIDBits is the width of the module identifier (VLAN ID).
+	ModuleIDBits = 12
+	// MaxModuleID is the largest representable module ID.
+	MaxModuleID = 1<<ModuleIDBits - 1
+	// CAMWidthBits is the full match width: key plus module ID.
+	CAMWidthBits = KeyBits + ModuleIDBits // 205
+	// MemoryWords is the number of stateful-memory words per stage. The
+	// segment table's 8-bit base and range fields address at most 256.
+	MemoryWords = 256
+)
+
+// Errors shared by the table types.
+var (
+	ErrIndexRange = errors.New("tables: index out of range")
+	ErrNoEntry    = errors.New("tables: no entry")
+	ErrSegFault   = errors.New("tables: address outside module segment")
+	ErrCAMFull    = errors.New("tables: CAM has no free entry in module partition")
+)
+
+// Key is a fixed-width padded lookup key (24 bytes of extracted container
+// data plus the predicate bit in the final byte's low bit).
+type Key [KeyBytes]byte
+
+// WithPredicate returns a copy of k with the 193rd bit set to p.
+func (k Key) WithPredicate(p bool) Key {
+	if p {
+		k[KeyBytes-1] |= 0x01
+	} else {
+		k[KeyBytes-1] &^= 0x01
+	}
+	return k
+}
+
+// Predicate reports the 193rd key bit.
+func (k Key) Predicate() bool { return k[KeyBytes-1]&0x01 != 0 }
+
+// Masked returns k with every bit outside mask cleared.
+func (k Key) Masked(mask Key) Key {
+	var out Key
+	for i := range k {
+		out[i] = k[i] & mask[i]
+	}
+	return out
+}
+
+// FullMask is the all-ones key mask.
+func FullMask() Key {
+	var m Key
+	for i := range m {
+		m[i] = 0xff
+	}
+	return m
+}
+
+// Overlay is a per-module configuration array: Menshen's core isolation
+// primitive for shared resources. Depth bounds the number of modules; an
+// entry must be explicitly valid to be used. Overlay is safe for one
+// writer (the daisy chain) concurrent with readers (packet processing);
+// Menshen's packet filter guarantees the module being rewritten has no
+// in-flight packets, and the lock preserves memory safety regardless.
+type Overlay[T any] struct {
+	mu      sync.RWMutex
+	entries []overlayEntry[T]
+}
+
+type overlayEntry[T any] struct {
+	valid bool
+	val   T
+}
+
+// NewOverlay returns an overlay table with the given depth (use
+// OverlayDepth for the paper's geometry).
+func NewOverlay[T any](depth int) *Overlay[T] {
+	return &Overlay[T]{entries: make([]overlayEntry[T], depth)}
+}
+
+// Depth returns the number of entry slots.
+func (o *Overlay[T]) Depth() int { return len(o.entries) }
+
+// Lookup returns the configuration for the given module index.
+func (o *Overlay[T]) Lookup(idx int) (T, bool) {
+	var zero T
+	if idx < 0 || idx >= len(o.entries) {
+		return zero, false
+	}
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	e := o.entries[idx]
+	if !e.valid {
+		return zero, false
+	}
+	return e.val, true
+}
+
+// Set installs a configuration at the given module index.
+func (o *Overlay[T]) Set(idx int, v T) error {
+	if idx < 0 || idx >= len(o.entries) {
+		return fmt.Errorf("%w: overlay index %d (depth %d)", ErrIndexRange, idx, len(o.entries))
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.entries[idx] = overlayEntry[T]{valid: true, val: v}
+	return nil
+}
+
+// Clear invalidates the entry at idx.
+func (o *Overlay[T]) Clear(idx int) error {
+	if idx < 0 || idx >= len(o.entries) {
+		return fmt.Errorf("%w: overlay index %d (depth %d)", ErrIndexRange, idx, len(o.entries))
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.entries[idx] = overlayEntry[T]{}
+	return nil
+}
+
+// ValidCount returns the number of installed entries.
+func (o *Overlay[T]) ValidCount() int {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	n := 0
+	for _, e := range o.entries {
+		if e.valid {
+			n++
+		}
+	}
+	return n
+}
+
+// CAMEntry is one match entry: a key, the owning module's ID (appended to
+// the key per §3.1 so lookups are isolated between modules), and an
+// optional ternary mask (Appendix B). A nil-mask entry matches exactly.
+type CAMEntry struct {
+	Valid bool
+	ModID uint16
+	Key   Key
+	// Mask selects which key bits participate in the match. FullMask()
+	// gives exact-match behaviour. The module ID is always matched exactly.
+	Mask Key
+}
+
+// Matches reports whether the entry matches the (key, modID) pair.
+func (e *CAMEntry) Matches(key Key, modID uint16) bool {
+	if !e.Valid || e.ModID != modID&MaxModuleID {
+		return false
+	}
+	for i := range key {
+		if (key[i]^e.Key[i])&e.Mask[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// CAM models the Xilinx CAM block used for the per-stage match table. The
+// lookup result is the entry address, which indexes the VLIW action table.
+// For ternary matches the lowest address wins (the priority convention of
+// the Xilinx IP, Appendix B). Addresses are allocated to modules in
+// contiguous chunks so one module's rule updates never disturb another's.
+type CAM struct {
+	mu      sync.RWMutex
+	entries []CAMEntry
+	// partition[mod] is the half-open address range owned by module mod.
+	partition map[uint16][2]int
+}
+
+// NewCAM returns a CAM with the given depth (use CAMDepth for the paper's
+// per-stage geometry).
+func NewCAM(depth int) *CAM {
+	return &CAM{
+		entries:   make([]CAMEntry, depth),
+		partition: make(map[uint16][2]int),
+	}
+}
+
+// Depth returns the number of entry addresses.
+func (c *CAM) Depth() int { return len(c.entries) }
+
+// Partition assigns the half-open address range [lo, hi) to module modID.
+// Ranges of distinct modules must not overlap; Partition enforces this so
+// that space partitioning of match entries is airtight.
+func (c *CAM) Partition(modID uint16, lo, hi int) error {
+	if lo < 0 || hi > len(c.entries) || lo > hi {
+		return fmt.Errorf("%w: CAM partition [%d,%d) depth %d", ErrIndexRange, lo, hi, len(c.entries))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for other, r := range c.partition {
+		if other == modID {
+			continue
+		}
+		if lo < r[1] && r[0] < hi {
+			return fmt.Errorf("tables: CAM partition [%d,%d) for module %d overlaps module %d's [%d,%d)",
+				lo, hi, modID, other, r[0], r[1])
+		}
+	}
+	c.partition[modID] = [2]int{lo, hi}
+	return nil
+}
+
+// PartitionOf returns the address range owned by modID.
+func (c *CAM) PartitionOf(modID uint16) (lo, hi int, ok bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	r, ok := c.partition[modID]
+	return r[0], r[1], ok
+}
+
+// Write installs an entry at an absolute address. The address must lie in
+// the owning module's partition when one is configured.
+func (c *CAM) Write(addr int, e CAMEntry) error {
+	if addr < 0 || addr >= len(c.entries) {
+		return fmt.Errorf("%w: CAM address %d (depth %d)", ErrIndexRange, addr, len(c.entries))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r, ok := c.partition[e.ModID]; ok && e.Valid && (addr < r[0] || addr >= r[1]) {
+		return fmt.Errorf("%w: CAM address %d outside module %d partition [%d,%d)",
+			ErrIndexRange, addr, e.ModID, r[0], r[1])
+	}
+	c.entries[addr] = e
+	return nil
+}
+
+// Insert places the entry at the first free address within the module's
+// partition (or anywhere, if no partition is configured) and returns the
+// address.
+func (c *CAM) Insert(e CAMEntry) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	lo, hi := 0, len(c.entries)
+	if r, ok := c.partition[e.ModID]; ok {
+		lo, hi = r[0], r[1]
+	}
+	for addr := lo; addr < hi; addr++ {
+		if !c.entries[addr].Valid {
+			e.Valid = true
+			c.entries[addr] = e
+			return addr, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: module %d range [%d,%d)", ErrCAMFull, e.ModID, lo, hi)
+}
+
+// Lookup matches (key, modID) against the CAM and returns the lowest
+// matching address.
+func (c *CAM) Lookup(key Key, modID uint16) (int, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for addr := range c.entries {
+		if c.entries[addr].Matches(key, modID) {
+			return addr, true
+		}
+	}
+	return 0, false
+}
+
+// ClearModule invalidates every entry owned by modID. Entries of other
+// modules are untouched — the no-disruption property for match tables.
+func (c *CAM) ClearModule(modID uint16) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for i := range c.entries {
+		if c.entries[i].Valid && c.entries[i].ModID == modID {
+			c.entries[i] = CAMEntry{}
+			n++
+		}
+	}
+	return n
+}
+
+// Entry returns a copy of the entry at addr.
+func (c *CAM) Entry(addr int) (CAMEntry, error) {
+	if addr < 0 || addr >= len(c.entries) {
+		return CAMEntry{}, fmt.Errorf("%w: CAM address %d", ErrIndexRange, addr)
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.entries[addr], nil
+}
+
+// ValidCount returns the number of installed entries, optionally filtered
+// by module (pass modID < 0 for all modules).
+func (c *CAM) ValidCount(modID int) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	n := 0
+	for i := range c.entries {
+		e := &c.entries[i]
+		if e.Valid && (modID < 0 || int(e.ModID) == modID) {
+			n++
+		}
+	}
+	return n
+}
+
+// Segment is one segment-table entry: the base address and word count of a
+// module's slice of stateful memory. Both fields are one byte on the wire
+// (§4.1: "each entry in the segment table is a 2-byte number").
+type Segment struct {
+	Base  uint8
+	Range uint8
+}
+
+// SegmentTable translates module-local stateful-memory addresses to
+// physical addresses, giving each module its own address space (§3.1).
+// Menshen implements this in hardware, unlike NetVRM's P4-level page
+// table, so stage 1's stateful memory remains usable for packet processing.
+type SegmentTable struct {
+	overlay *Overlay[Segment]
+}
+
+// NewSegmentTable returns a segment table with the given depth.
+func NewSegmentTable(depth int) *SegmentTable {
+	return &SegmentTable{overlay: NewOverlay[Segment](depth)}
+}
+
+// Set installs the segment for module index idx.
+func (s *SegmentTable) Set(idx int, seg Segment) error { return s.overlay.Set(idx, seg) }
+
+// Clear removes the segment for module index idx.
+func (s *SegmentTable) Clear(idx int) error { return s.overlay.Clear(idx) }
+
+// Lookup returns the segment for module index idx.
+func (s *SegmentTable) Lookup(idx int) (Segment, bool) { return s.overlay.Lookup(idx) }
+
+// Translate converts a module-local address to a physical address,
+// faulting if the module has no segment or the address exceeds its range.
+// A faulting access must not touch another module's state; callers treat
+// the error as a per-packet no-op or drop.
+func (s *SegmentTable) Translate(idx int, addr uint64) (uint64, error) {
+	seg, ok := s.overlay.Lookup(idx)
+	if !ok {
+		return 0, fmt.Errorf("%w: module index %d has no segment", ErrNoEntry, idx)
+	}
+	if addr >= uint64(seg.Range) {
+		return 0, fmt.Errorf("%w: address %d >= range %d (module index %d)", ErrSegFault, addr, seg.Range, idx)
+	}
+	return uint64(seg.Base) + addr, nil
+}
+
+// Depth returns the number of segment slots.
+func (s *SegmentTable) Depth() int { return s.overlay.Depth() }
+
+// StatefulMemory is a stage's persistent state RAM. All access is by
+// physical address; isolation comes from the SegmentTable in front of it.
+type StatefulMemory struct {
+	mu    sync.RWMutex
+	words []uint64
+}
+
+// NewStatefulMemory returns a memory with n words (use MemoryWords for the
+// paper's per-stage geometry).
+func NewStatefulMemory(n int) *StatefulMemory {
+	return &StatefulMemory{words: make([]uint64, n)}
+}
+
+// Size returns the number of words.
+func (m *StatefulMemory) Size() int { return len(m.words) }
+
+// Load reads the word at phys.
+func (m *StatefulMemory) Load(phys uint64) (uint64, error) {
+	if phys >= uint64(len(m.words)) {
+		return 0, fmt.Errorf("%w: physical address %d (size %d)", ErrIndexRange, phys, len(m.words))
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.words[phys], nil
+}
+
+// Store writes the word at phys.
+func (m *StatefulMemory) Store(phys uint64, v uint64) error {
+	if phys >= uint64(len(m.words)) {
+		return fmt.Errorf("%w: physical address %d (size %d)", ErrIndexRange, phys, len(m.words))
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.words[phys] = v
+	return nil
+}
+
+// LoadAddStore implements the loadd ALU operation: load, add one, store
+// back, and return the new value — the read-modify-write used for counters.
+func (m *StatefulMemory) LoadAddStore(phys uint64) (uint64, error) {
+	if phys >= uint64(len(m.words)) {
+		return 0, fmt.Errorf("%w: physical address %d (size %d)", ErrIndexRange, phys, len(m.words))
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.words[phys]++
+	return m.words[phys], nil
+}
+
+// ZeroRange clears words [base, base+n), used when a module is unloaded so
+// its successor cannot observe stale state.
+func (m *StatefulMemory) ZeroRange(base, n uint64) error {
+	if base+n > uint64(len(m.words)) {
+		return fmt.Errorf("%w: zero range [%d,%d) size %d", ErrIndexRange, base, base+n, len(m.words))
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := base; i < base+n; i++ {
+		m.words[i] = 0
+	}
+	return nil
+}
+
+// Snapshot returns a copy of all words (for tests and stats).
+func (m *StatefulMemory) Snapshot() []uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]uint64, len(m.words))
+	copy(out, m.words)
+	return out
+}

@@ -1,0 +1,191 @@
+package trafficgen
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"repro/internal/packet"
+)
+
+func TestCalcPacketFields(t *testing.T) {
+	frame := CalcPacket(3, CalcAdd, 100, 200, 0)
+	var p packet.Packet
+	if err := packet.Decode(frame, &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.ModuleID() != 3 {
+		t.Errorf("module = %d", p.ModuleID())
+	}
+	if binary.BigEndian.Uint16(p.Payload[0:]) != CalcAdd {
+		t.Error("op field wrong")
+	}
+	if binary.BigEndian.Uint32(p.Payload[2:]) != 100 || binary.BigEndian.Uint32(p.Payload[6:]) != 200 {
+		t.Error("operand fields wrong")
+	}
+	if _, err := CalcResult(frame); err != nil {
+		t.Errorf("CalcResult on fresh frame: %v", err)
+	}
+}
+
+func TestCalcPacketPadding(t *testing.T) {
+	frame := CalcPacket(1, CalcAdd, 1, 2, 256)
+	if len(frame) != 256 {
+		t.Errorf("len = %d", len(frame))
+	}
+}
+
+func TestKVPacketFields(t *testing.T) {
+	frame := KVPacket(5, KVPut, 42, 0xdeadbeef, 0)
+	var p packet.Packet
+	if err := packet.Decode(frame, &p); err != nil {
+		t.Fatal(err)
+	}
+	if binary.BigEndian.Uint16(p.Payload[0:]) != KVPut {
+		t.Error("op wrong")
+	}
+	if binary.BigEndian.Uint16(p.Payload[2:]) != 42 {
+		t.Error("key wrong")
+	}
+	v, err := KVValue(frame)
+	if err != nil || v != 0xdeadbeef {
+		t.Errorf("KVValue = %#x, %v", v, err)
+	}
+}
+
+func TestChainAndSRPackets(t *testing.T) {
+	frame := ChainPacket(4, 1, 0)
+	seq, err := ChainSeq(frame)
+	if err != nil || seq != 0 {
+		t.Errorf("ChainSeq = %d, %v", seq, err)
+	}
+	sr := SRPacket(6, 3, 0)
+	var p packet.Packet
+	if err := packet.Decode(sr, &p); err != nil {
+		t.Fatal(err)
+	}
+	if binary.BigEndian.Uint16(p.Payload[0:]) != 3 {
+		t.Error("hop field wrong")
+	}
+}
+
+func TestShortFrameExtractErrors(t *testing.T) {
+	if _, err := CalcResult(make([]byte, 10)); err == nil {
+		t.Error("short frame accepted")
+	}
+	if _, err := KVValue(make([]byte, 10)); err == nil {
+		t.Error("short frame accepted")
+	}
+	if _, err := ChainSeq(make([]byte, 10)); err == nil {
+		t.Error("short frame accepted")
+	}
+}
+
+func TestPRNGDeterministic(t *testing.T) {
+	a, b := NewPRNG(7), NewPRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if NewPRNG(0).Next() == 0 {
+		t.Error("zero seed should be remapped")
+	}
+	p := NewPRNG(1)
+	for i := 0; i < 100; i++ {
+		if v := p.Intn(10); v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+	if NewPRNG(1).Intn(0) != 0 {
+		t.Error("Intn(0) should be 0")
+	}
+}
+
+func TestStreamPPS(t *testing.T) {
+	s := Stream{RateGbps: 1, FrameBytes: 1000}
+	// 1 Gb/s at 8000 bits/frame = 125k pps.
+	if pps := s.PPS(); math.Abs(pps-125000) > 1 {
+		t.Errorf("PPS = %f", pps)
+	}
+}
+
+func TestMixScheduleProportions(t *testing.T) {
+	// The Figure 10 ratio: 5:3:2 over one link.
+	gen := func(int) []byte { return nil }
+	mix := Mix{Streams: []Stream{
+		{ModuleID: 1, RateGbps: 5, FrameBytes: 1000, Gen: gen},
+		{ModuleID: 2, RateGbps: 3, FrameBytes: 1000, Gen: gen},
+		{ModuleID: 3, RateGbps: 2, FrameBytes: 1000, Gen: gen},
+	}}
+	slots := mix.Schedule(0.01)
+	counts := map[int]int{}
+	for _, s := range slots {
+		counts[s.StreamIdx]++
+	}
+	total := float64(len(slots))
+	if total == 0 {
+		t.Fatal("no slots scheduled")
+	}
+	wantFrac := []float64{0.5, 0.3, 0.2}
+	for i, w := range wantFrac {
+		got := float64(counts[i]) / total
+		if math.Abs(got-w) > 0.02 {
+			t.Errorf("stream %d fraction = %.3f, want %.2f", i, got, w)
+		}
+	}
+}
+
+func TestMixScheduleOrderedByTime(t *testing.T) {
+	gen := func(int) []byte { return nil }
+	mix := Mix{Streams: []Stream{
+		{RateGbps: 1, FrameBytes: 500, Gen: gen},
+		{RateGbps: 2, FrameBytes: 500, Gen: gen},
+	}}
+	slots := mix.Schedule(0.001)
+	for i := 1; i < len(slots); i++ {
+		if slots[i].Time < slots[i-1].Time {
+			t.Fatal("slots not time ordered")
+		}
+	}
+}
+
+func TestMixZeroRateStreamIdle(t *testing.T) {
+	gen := func(int) []byte { return nil }
+	mix := Mix{Streams: []Stream{
+		{RateGbps: 0, FrameBytes: 500, Gen: gen},
+		{RateGbps: 1, FrameBytes: 500, Gen: gen},
+	}}
+	slots := mix.Schedule(0.001)
+	for _, s := range slots {
+		if s.StreamIdx == 0 {
+			t.Fatal("zero-rate stream transmitted")
+		}
+	}
+	if len(slots) == 0 {
+		t.Fatal("active stream idle")
+	}
+}
+
+func TestGeneratorCountsPassedToGen(t *testing.T) {
+	var got []int
+	mix := Mix{Streams: []Stream{{
+		RateGbps: 1, FrameBytes: 1250, // 100k pps
+		Gen: func(i int) []byte { got = append(got, i); return nil },
+	}}}
+	mix.Schedule(0.0001) // ~10 frames
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("gen indices = %v", got)
+		}
+	}
+}
+
+func TestSweepAxes(t *testing.T) {
+	if len(NetFPGASizes) != 5 || NetFPGASizes[0] != 64 {
+		t.Errorf("NetFPGASizes = %v", NetFPGASizes)
+	}
+	if len(CorundumSizes) != 7 || CorundumSizes[6] != 1500 {
+		t.Errorf("CorundumSizes = %v", CorundumSizes)
+	}
+}

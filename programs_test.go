@@ -1,0 +1,317 @@
+package menshen
+
+// End-to-end behavioral tests for every Table 3 program on the public
+// API, complementing the isolation-oriented tests in menshen_test.go.
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+
+	"repro/internal/p4progs"
+	"repro/internal/packet"
+	"repro/internal/trafficgen"
+)
+
+func TestQoSRewritesTOS(t *testing.T) {
+	d := NewDevice()
+	mustLoad(t, d, "QoS", 1)
+	// dport 5001 -> EF (TOS 0xb8).
+	frame := trafficgen.FlowPacket(1, [4]byte{10, 0, 0, 1}, [4]byte{10, 0, 0, 2}, 1234, 5001, 0)
+	res, err := d.Send(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped {
+		t.Fatalf("dropped: %s", res.Reason)
+	}
+	var p packet.Packet
+	if err := packet.Decode(res.Output, &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.IP.TOS != 0xb8 {
+		t.Errorf("TOS = %#x, want 0xb8 (EF)", p.IP.TOS)
+	}
+	// Version/IHL byte preserved by the 2-byte rewrite.
+	if res.Output[18] != 0x45 {
+		t.Errorf("version/IHL corrupted: %#x", res.Output[18])
+	}
+	// Unclassified ports keep their TOS.
+	frame = trafficgen.FlowPacket(1, [4]byte{10, 0, 0, 1}, [4]byte{10, 0, 0, 2}, 1234, 9999, 0)
+	res, _ = d.Send(frame)
+	packet.Decode(res.Output, &p)
+	if p.IP.TOS != 0 {
+		t.Errorf("unclassified TOS = %#x", p.IP.TOS)
+	}
+}
+
+func TestLoadBalancingSteersByTuple(t *testing.T) {
+	d := NewDevice()
+	mustLoad(t, d, "Load Balancing", 1)
+	// Entries map (10.0.0.10, sport 1000..1003) -> ports 1..4.
+	for i := uint16(0); i < 4; i++ {
+		frame := trafficgen.FlowPacket(1, [4]byte{1, 2, 3, 4}, [4]byte{10, 0, 0, 10}, 1000+i, 80, 0)
+		res, err := d.Send(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.EgressPorts) != 1 || res.EgressPorts[0] != uint8(i+1) {
+			t.Errorf("sport %d -> ports %v, want [%d]", 1000+i, res.EgressPorts, i+1)
+		}
+	}
+	// Unknown tuples fall through with no port set.
+	frame := trafficgen.FlowPacket(1, [4]byte{1, 2, 3, 4}, [4]byte{10, 0, 0, 10}, 4000, 80, 0)
+	res, _ := d.Send(frame)
+	if res.EgressPorts[0] != 0 {
+		t.Errorf("unknown tuple steered to %v", res.EgressPorts)
+	}
+}
+
+func TestSourceRoutingUsesHeaderHop(t *testing.T) {
+	d := NewDevice()
+	mustLoad(t, d, "Source Routing", 1)
+	for hop := uint16(1); hop <= 4; hop++ {
+		res, err := d.Send(trafficgen.SRPacket(1, hop, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.EgressPorts[0] != uint8(hop) {
+			t.Errorf("hop %d -> port %v", hop, res.EgressPorts)
+		}
+	}
+}
+
+func TestMulticastGroups(t *testing.T) {
+	d := NewDevice()
+	d.AddMulticastGroup(200, 1, 2)
+	d.AddMulticastGroup(201, 3, 4, 5)
+	mustLoad(t, d, "Multicast", 1)
+	res, err := d.Send(trafficgen.FlowPacket(1, [4]byte{1, 1, 1, 1}, [4]byte{224, 0, 0, 1}, 1, 2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.EgressPorts) != 2 {
+		t.Errorf("group 200 -> %v", res.EgressPorts)
+	}
+	res, _ = d.Send(trafficgen.FlowPacket(1, [4]byte{1, 1, 1, 1}, [4]byte{224, 0, 0, 2}, 1, 2, 0))
+	if len(res.EgressPorts) != 3 {
+		t.Errorf("group 201 -> %v", res.EgressPorts)
+	}
+}
+
+func TestFirewallDefaultSizeEntries(t *testing.T) {
+	d := NewDevice()
+	mustLoad(t, d, "Firewall", 1)
+	blocked := []struct {
+		src   [4]byte
+		dport uint16
+	}{
+		{[4]byte{10, 0, 0, 1}, 80},
+		{[4]byte{10, 0, 0, 1}, 8080},
+		{[4]byte{10, 0, 0, 2}, 443},
+	}
+	for _, tc := range blocked {
+		res, err := d.Send(trafficgen.FlowPacket(1, tc.src, [4]byte{9, 9, 9, 9}, 5, tc.dport, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Dropped {
+			t.Errorf("%v:%d not blocked", tc.src, tc.dport)
+		}
+	}
+	res, _ := d.Send(trafficgen.FlowPacket(1, [4]byte{10, 0, 0, 1}, [4]byte{9, 9, 9, 9}, 5, 443, 0))
+	if res.Dropped {
+		t.Error("10.0.0.1:443 wrongly blocked")
+	}
+}
+
+func TestNetCacheValueWidth(t *testing.T) {
+	d := NewDevice()
+	mustLoad(t, d, "NetCache", 1)
+	if _, err := d.Send(trafficgen.KVPacket(1, trafficgen.KVPut, 3, 0xffffffff, 0)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Send(trafficgen.KVPacket(1, trafficgen.KVGet, 3, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := trafficgen.KVValue(res.Output)
+	if v != 0xffffffff {
+		t.Errorf("32-bit value corrupted: %#x", v)
+	}
+}
+
+func TestCALCWithLargePackets(t *testing.T) {
+	d := NewDevice(WithPlatform(PlatformNetFPGA))
+	mustLoad(t, d, "CALC", 1)
+	for _, size := range trafficgen.NetFPGASizes {
+		frame := trafficgen.CalcPacket(1, trafficgen.CalcAdd, 11, 31, size)
+		res, err := d.Send(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, _ := trafficgen.CalcResult(res.Output)
+		if v != 42 {
+			t.Errorf("size %d: result %d", size, v)
+		}
+		if len(res.Output) != size {
+			t.Errorf("size %d: output %d bytes", size, len(res.Output))
+		}
+		if res.LatencyNs <= 0 {
+			t.Errorf("size %d: no latency model value", size)
+		}
+	}
+}
+
+func TestPayloadBeyondHeaderWindowUntouched(t *testing.T) {
+	// The deparser only writes parsed offsets; payload bytes past the
+	// 128-byte window must survive bit-exact.
+	d := NewDevice()
+	mustLoad(t, d, "CALC", 1)
+	frame := trafficgen.CalcPacket(1, trafficgen.CalcAdd, 1, 2, 512)
+	for i := 200; i < 512; i++ {
+		frame[i] = byte(i * 7)
+	}
+	res, err := d.Send(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 200; i < 512; i++ {
+		if res.Output[i] != byte(i*7) {
+			t.Fatalf("payload byte %d corrupted", i)
+		}
+	}
+}
+
+func TestDevicePlatformOptions(t *testing.T) {
+	kinds := []PlatformKind{PlatformCorundumOptimized, PlatformCorundumUnoptimized, PlatformNetFPGA}
+	for _, k := range kinds {
+		d := NewDevice(WithPlatform(k))
+		if d.Platform() == "" {
+			t.Errorf("kind %d: empty platform", k)
+		}
+		if d.ThroughputGbps(1500) <= 0 || d.LatencyNs(64) <= 0 {
+			t.Errorf("kind %d: model not wired", k)
+		}
+	}
+	// Unoptimized is slower at MTU than optimized.
+	opt := NewDevice(WithPlatform(PlatformCorundumOptimized))
+	unopt := NewDevice(WithPlatform(PlatformCorundumUnoptimized))
+	if opt.ThroughputGbps(1500) <= unopt.ThroughputGbps(1500) {
+		t.Error("optimization gain missing from facade models")
+	}
+}
+
+func TestDRFPolicyOption(t *testing.T) {
+	d := NewDevice(WithDRFPolicy(0.05)) // very strict
+	prog, _ := p4progs.ByName("CALC")
+	if _, err := d.LoadModule(prog.Source(), 1); err == nil {
+		t.Error("strict DRF admitted a module with a large dominant share")
+	}
+	loose := NewDevice(WithDRFPolicy(0.9))
+	if _, err := loose.LoadModule(prog.Source(), 1); err != nil {
+		t.Errorf("loose DRF rejected: %v", err)
+	}
+}
+
+func TestWithDefaultPort(t *testing.T) {
+	d := NewDevice(WithDefaultPort(9))
+	mustLoad(t, d, "CALC", 1)
+	res, err := d.Send(trafficgen.CalcPacket(1, trafficgen.CalcAdd, 1, 2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.EgressPorts) != 1 || res.EgressPorts[0] != 9 {
+		t.Errorf("default port not applied: %v", res.EgressPorts)
+	}
+}
+
+func TestParseIPv4(t *testing.T) {
+	a, err := ParseIPv4("192.168.1.250")
+	if err != nil || a != (packet.IPv4Addr{192, 168, 1, 250}) {
+		t.Errorf("ParseIPv4 = %v, %v", a, err)
+	}
+	for _, bad := range []string{"1.2.3", "256.1.1.1", "a.b.c.d", ""} {
+		if _, err := ParseIPv4(bad); err == nil {
+			t.Errorf("ParseIPv4(%q) accepted", bad)
+		}
+	}
+}
+
+func TestFilterVerdictsReported(t *testing.T) {
+	d := NewDevice()
+	mustLoad(t, d, "CALC", 1)
+	if _, err := d.Send(trafficgen.CalcPacket(1, trafficgen.CalcAdd, 1, 2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	v := d.FilterVerdicts()
+	if v["data"] != 1 {
+		t.Errorf("verdicts = %v", v)
+	}
+}
+
+func TestConcurrentSendsAreSafe(t *testing.T) {
+	// Process serializes at ingress (like the wire); concurrent senders
+	// must not race or corrupt state.
+	d := NewDevice()
+	mustLoad(t, d, "NetChain", 4)
+	const workers, per = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := d.Send(trafficgen.ChainPacket(4, 1, 0)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// The sequencer handed out exactly workers*per distinct values.
+	v, err := d.ReadRegister(4, "seq", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != workers*per {
+		t.Errorf("sequencer = %d, want %d", v, workers*per)
+	}
+}
+
+func TestCompileOnlyValidation(t *testing.T) {
+	d := NewDevice()
+	prog, _ := p4progs.ByName("CALC")
+	p, err := d.Compile(prog.Source(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.EntriesGenerated == 0 {
+		t.Error("no entries")
+	}
+	// Compile does not load.
+	res, _ := d.Send(trafficgen.CalcPacket(1, trafficgen.CalcAdd, 1, 2, 0))
+	if !res.Dropped {
+		t.Error("Compile should not install anything")
+	}
+}
+
+func TestChainSeqBigEndian48(t *testing.T) {
+	// Guard the 48-bit big-endian extraction helper against layout
+	// regressions.
+	d := NewDevice()
+	mustLoad(t, d, "NetChain", 4)
+	res, err := d.Send(trafficgen.ChainPacket(4, 1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := packet.StandardHeaderLen
+	if binary.BigEndian.Uint16(res.Output[off:]) != 1 {
+		t.Error("op field moved")
+	}
+	seq, _ := trafficgen.ChainSeq(res.Output)
+	if seq != 1 {
+		t.Errorf("seq = %d", seq)
+	}
+}
