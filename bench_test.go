@@ -262,6 +262,81 @@ func BenchmarkMatchCAMvsCuckoo(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineThroughput compares the concurrent batched engine
+// against the single-packet Device.Send loop at several worker counts
+// and batch sizes. The acceptance target for the engine subsystem is
+// ≥2x packets/sec over SendLoop at workers=4/batch=32.
+func BenchmarkEngineThroughput(b *testing.B) {
+	// One shared pool of CALC frames across 64 flows, so multi-worker
+	// configurations all receive traffic.
+	const poolSize = 1024
+	newPool := func() [][]byte {
+		gen := trafficgen.DefaultGen("CALC", 1, 0, 64, trafficgen.NewPRNG(21))
+		pool := make([][]byte, poolSize)
+		for i := range pool {
+			pool[i] = gen(i)
+		}
+		return pool
+	}
+
+	b.Run("SendLoop", func(b *testing.B) {
+		dev := newLoadedDevice(b, PlatformCorundumOptimized)
+		pool := newPool()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := dev.Send(pool[i%poolSize])
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Dropped {
+				b.Fatal("dropped")
+			}
+		}
+	})
+
+	for _, workers := range []int{1, 2, 4} {
+		for _, batch := range []int{1, 8, 32} {
+			b.Run(fmt.Sprintf("workers=%d/batch=%d", workers, batch), func(b *testing.B) {
+				dev := newLoadedDevice(b, PlatformCorundumOptimized)
+				eng, err := dev.NewEngine(EngineConfig{
+					Workers:    workers,
+					BatchSize:  batch,
+					QueueDepth: 4096,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				pool := newPool()
+				sub := make([][]byte, 0, batch)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sub = append(sub, pool[i%poolSize])
+					if len(sub) == batch {
+						if _, err := eng.SubmitBatch(sub); err != nil {
+							b.Fatal(err)
+						}
+						sub = sub[:0]
+					}
+				}
+				if len(sub) > 0 {
+					if _, err := eng.SubmitBatch(sub); err != nil {
+						b.Fatal(err)
+					}
+				}
+				eng.Drain()
+				b.StopTimer()
+				tot := eng.Stats().Totals()
+				if tot.Processed != uint64(b.N) {
+					b.Fatalf("processed %d of %d submitted", tot.Processed, b.N)
+				}
+				if err := eng.Close(); err != nil {
+					b.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkWFQScheduler measures the §3.5 egress scheduler: WFQ ranking
 // plus PIFO enqueue/dequeue per frame.
 func BenchmarkWFQScheduler(b *testing.B) {

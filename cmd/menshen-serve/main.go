@@ -1,0 +1,153 @@
+// Command menshen-serve runs the concurrent batched dataplane engine:
+// it loads built-in modules onto a device, replays a generated
+// multi-tenant workload through the engine's worker shards, and prints
+// a throughput/latency report — the software stand-in for offering
+// line-rate traffic to the hardware prototype.
+//
+// Usage:
+//
+//	menshen-serve                                  # CALC+Firewall+NetCache, 4 workers
+//	menshen-serve -modules CALC,NetCache -workers 8 -batch 64 -packets 2000000
+//	menshen-serve -rate-pps 500000                 # police each tenant at 500 kpps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	menshen "repro"
+	"repro/internal/p4progs"
+	"repro/internal/trafficgen"
+)
+
+func main() {
+	modules := flag.String("modules", "CALC,Firewall,NetCache", "comma-separated Table 3 program names, one tenant each")
+	workers := flag.Int("workers", 4, "engine worker shards")
+	batch := flag.Int("batch", 32, "frames per pipeline batch")
+	queue := flag.Int("queue", 4096, "per-tenant per-worker ring depth")
+	packets := flag.Int("packets", 1_000_000, "total frames to generate across tenants")
+	size := flag.Int("size", 0, "frame size in bytes (0 = minimal per program)")
+	flows := flag.Int("flows", 16, "flows per tenant (spread across shards)")
+	platform := flag.String("platform", "corundum", "platform: corundum, corundum-unopt, netfpga")
+	ratePPS := flag.Float64("rate-pps", 0, "per-tenant packet rate limit (0 = unlimited)")
+	rateBPS := flag.Float64("rate-bps", 0, "per-tenant bit rate limit (0 = unlimited)")
+	drop := flag.Bool("drop", false, "tail-drop at full rings instead of blocking the generator")
+	seed := flag.Uint64("seed", 42, "workload PRNG seed")
+	flag.Parse()
+
+	var kind menshen.PlatformKind
+	switch *platform {
+	case "corundum":
+		kind = menshen.PlatformCorundumOptimized
+	case "corundum-unopt":
+		kind = menshen.PlatformCorundumUnoptimized
+	case "netfpga":
+		kind = menshen.PlatformNetFPGA
+	default:
+		fatal(fmt.Errorf("unknown platform %q", *platform))
+	}
+
+	dev := menshen.NewDevice(menshen.WithPlatform(kind))
+	fmt.Println("device:", dev.Platform())
+
+	names := strings.Split(*modules, ",")
+	loads := make([]trafficgen.TenantLoad, 0, len(names))
+	for i, name := range names {
+		name = strings.TrimSpace(name)
+		p, err := p4progs.ByName(name)
+		if err != nil {
+			fatal(err)
+		}
+		id := uint16(i + 1)
+		rep, err := dev.LoadModule(p.Source(), id)
+		if err != nil {
+			fatal(fmt.Errorf("load %s: %w", p.Name, err))
+		}
+		fmt.Printf("loaded %-16s as tenant %2d (%3d commands, compile %v)\n",
+			p.Name, id, rep.Commands, rep.CompileWall.Round(time.Microsecond))
+		loads = append(loads, trafficgen.TenantLoad{
+			ModuleID:   id,
+			Program:    name,
+			FrameBytes: *size,
+			Flows:      *flows,
+		})
+	}
+
+	eng, err := dev.NewEngine(menshen.EngineConfig{
+		Workers:    *workers,
+		BatchSize:  *batch,
+		QueueDepth: *queue,
+		DropOnFull: *drop,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if *ratePPS > 0 || *rateBPS > 0 {
+		for _, l := range loads {
+			eng.SetTenantLimit(l.ModuleID, *ratePPS, *rateBPS)
+		}
+	}
+
+	fmt.Printf("engine: %d workers, batch %d, queue %d\n", eng.Workers(), *batch, *queue)
+
+	sc := trafficgen.NewScenario(*seed, loads...)
+	var frames [][]byte
+	start := time.Now()
+	for sent := 0; sent < *packets; {
+		n := *batch * eng.Workers()
+		if rem := *packets - sent; n > rem {
+			n = rem
+		}
+		frames = sc.NextBatch(frames[:0], n)
+		if _, err := eng.SubmitBatch(frames); err != nil {
+			fatal(err)
+		}
+		sent += n
+	}
+	eng.Drain()
+	wall := time.Since(start)
+	st := eng.Stats()
+	if err := eng.Close(); err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("\n--- tenants ---\n")
+	for _, id := range st.TenantIDs() {
+		ts := st.Tenants[id]
+		fmt.Printf("tenant %2d: submitted %9d  forwarded %9d  dropped %7d (rate %d, queue %d, pipeline %d)  %7.2f MB\n",
+			id, ts.Submitted, ts.Processed, ts.Dropped(),
+			ts.RateLimited, ts.QueueFull, ts.PipelineDrops,
+			float64(ts.Bytes)/1e6)
+	}
+
+	fmt.Printf("\n--- workers ---\n")
+	for i, ws := range st.Workers {
+		fmt.Printf("worker %2d: %9d frames in %8d batches (avg %5.1f/batch)  p50 %8v  p99 %8v  busy %v\n",
+			i, ws.Frames, ws.Batches, ws.AvgBatch(),
+			ws.P50BatchLatency, ws.P99BatchLatency, ws.Busy.Round(time.Millisecond))
+	}
+
+	tot := st.Totals()
+	pps := float64(tot.Processed) / wall.Seconds()
+	fmt.Printf("\n--- totals ---\n")
+	fmt.Printf("%d frames in %v: %.2f Mpps, %.2f Gbit/s payload\n",
+		tot.Processed, wall.Round(time.Millisecond), pps/1e6,
+		float64(tot.Bytes)*8/wall.Seconds()/1e9)
+	fmt.Printf("modeled hardware line: %.1f Gbit/s at %d-byte frames (%s)\n",
+		dev.ThroughputGbps(frameSizeOrDefault(*size)), frameSizeOrDefault(*size), dev.Platform())
+}
+
+func frameSizeOrDefault(size int) int {
+	if size <= 0 {
+		return 64
+	}
+	return size
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "menshen-serve:", err)
+	os.Exit(1)
+}

@@ -9,6 +9,8 @@ package alu
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/phv"
 	"repro/internal/tables"
@@ -223,49 +225,90 @@ func getBits(buf []byte, off, n int) uint64 {
 // Table is the per-stage VLIW action table: CAM lookup results index it.
 // Like the match table it is space-partitioned across modules, but since
 // the CAM address is the action address the CAM's partitioning covers it.
+// Entries are published as copy-on-write snapshots (like
+// tables.Overlay), so the per-packet read path — including the
+// zero-copy Ref used by the batched engine — is safe against a
+// concurrent daisy-chain writer without locks.
 type Table struct {
-	actions []Action
-	valid   []bool
+	mu      sync.Mutex // serializes writers
+	entries atomic.Pointer[[]tableEntry]
+}
+
+// tableEntry is one action plus its precomputed non-nop instruction
+// slots (so the per-packet path skips the scan over all 25 VLIW
+// lanes).
+type tableEntry struct {
+	action Action
+	valid  bool
+	slots  []uint8
 }
 
 // NewTable returns an action table with the given depth (the prototype
 // uses tables.CAMDepth = 16).
 func NewTable(depth int) *Table {
-	return &Table{actions: make([]Action, depth), valid: make([]bool, depth)}
+	t := &Table{}
+	entries := make([]tableEntry, depth)
+	t.entries.Store(&entries)
+	return t
 }
 
 // Depth returns the number of action slots.
-func (t *Table) Depth() int { return len(t.actions) }
+func (t *Table) Depth() int { return len(*t.entries.Load()) }
+
+// mutate copies the current snapshot, installs e at addr, and
+// publishes the copy.
+func (t *Table) mutate(addr int, e tableEntry) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cur := *t.entries.Load()
+	if addr < 0 || addr >= len(cur) {
+		return fmt.Errorf("%w: action address %d (depth %d)", tables.ErrIndexRange, addr, len(cur))
+	}
+	next := make([]tableEntry, len(cur))
+	copy(next, cur)
+	next[addr] = e
+	t.entries.Store(&next)
+	return nil
+}
 
 // Set installs the action at addr.
 func (t *Table) Set(addr int, a Action) error {
-	if addr < 0 || addr >= len(t.actions) {
-		return fmt.Errorf("%w: action address %d (depth %d)", tables.ErrIndexRange, addr, len(t.actions))
-	}
 	if err := a.Validate(); err != nil {
 		return err
 	}
-	t.actions[addr] = a
-	t.valid[addr] = true
-	return nil
+	var slots []uint8
+	for slot := range a {
+		if a[slot].Op != OpNop {
+			slots = append(slots, uint8(slot))
+		}
+	}
+	return t.mutate(addr, tableEntry{action: a, valid: true, slots: slots})
 }
 
 // Clear invalidates the action at addr.
 func (t *Table) Clear(addr int) error {
-	if addr < 0 || addr >= len(t.actions) {
-		return fmt.Errorf("%w: action address %d (depth %d)", tables.ErrIndexRange, addr, len(t.actions))
-	}
-	t.actions[addr] = Action{}
-	t.valid[addr] = false
-	return nil
+	return t.mutate(addr, tableEntry{})
 }
 
 // Lookup returns the action at addr.
 func (t *Table) Lookup(addr int) (Action, bool) {
-	if addr < 0 || addr >= len(t.actions) || !t.valid[addr] {
+	entries := *t.entries.Load()
+	if addr < 0 || addr >= len(entries) || !entries[addr].valid {
 		return Action{}, false
 	}
-	return t.actions[addr], true
+	return entries[addr].action, true
+}
+
+// Ref returns a pointer to the action at addr plus its precompiled
+// non-nop slot list, skipping the copy of the wide (625-bit) VLIW entry
+// on the per-packet path. The pointees live in an immutable snapshot
+// and must be treated as read-only.
+func (t *Table) Ref(addr int) (*Action, []uint8, bool) {
+	entries := *t.entries.Load()
+	if addr < 0 || addr >= len(entries) || !entries[addr].valid {
+		return nil, nil, false
+	}
+	return &entries[addr].action, entries[addr].slots, true
 }
 
 // ErrNoSegment is returned when a memory-op executes for a module with no
@@ -301,6 +344,37 @@ func Execute(a *Action, env *Env) (memOps int, err error) {
 			return memOps, rerr
 		}
 		if ferr := executeOne(slot, instr, destRef, &in, env, &memOps); ferr != nil {
+			return memOps, ferr
+		}
+	}
+	return memOps, nil
+}
+
+// ExecuteSlots is Execute with the action's non-nop slots precompiled
+// (see Table.Ref) — the batched fast path. A single-instruction action
+// skips the PHV snapshot entirely: with one writer there is no
+// read-after-write hazard to guard against.
+func ExecuteSlots(a *Action, slots []uint8, env *Env) (memOps int, err error) {
+	switch len(slots) {
+	case 0:
+		return 0, nil
+	case 1:
+		slot := int(slots[0])
+		destRef, rerr := phv.RefForALU(slot)
+		if rerr != nil {
+			return 0, rerr
+		}
+		err = executeOne(slot, a[slot], destRef, env.PHV, env, &memOps)
+		return memOps, err
+	}
+	in := *env.PHV // snapshot: all operands read pre-action values
+	for _, s := range slots {
+		slot := int(s)
+		destRef, rerr := phv.RefForALU(slot)
+		if rerr != nil {
+			return memOps, rerr
+		}
+		if ferr := executeOne(slot, a[slot], destRef, &in, env, &memOps); ferr != nil {
 			return memOps, ferr
 		}
 	}

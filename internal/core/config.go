@@ -179,6 +179,7 @@ func (p *Pipeline) Partition(m *ModuleConfig, pl Placement) error {
 	if err := p.checkModule(m.ModuleID); err != nil {
 		return err
 	}
+	defer p.InvalidateBatchViews()
 	for s, sc := range m.Stages {
 		if !sc.Used || sc.PartitionSize() == 0 {
 			continue

@@ -109,6 +109,25 @@ type Pipeline struct {
 
 	mu    sync.Mutex // serializes Process, like the ingress wire
 	stats map[uint16]*ModuleStats
+
+	// batchViews caches per-module stage configuration for ProcessBatch
+	// (guarded by mu). Entries are revalidated against cfgGen, which
+	// every configuration write path bumps (Apply, Partition,
+	// UnloadModule), so reconfiguration is always observed and an
+	// unchanged configuration pays no per-batch re-resolution.
+	batchViews []moduleViews
+	cfgGen     atomic.Uint64
+}
+
+// moduleViews is one module's cached configuration across all stages,
+// plus its parser/deparser entries (nil when not installed; snapshot
+// refs are immutable).
+type moduleViews struct {
+	gen     uint64 // cfgGen the views were resolved at (0 = never)
+	views   []stage.View
+	parse   *parser.Entry
+	deparse *parser.Entry
+	stats   *ModuleStats
 }
 
 // New returns a Menshen pipeline with the given geometry and options.
@@ -135,6 +154,11 @@ func New(geo Geometry, opts Options) *Pipeline {
 			MemoryWords:  geo.MemoryWords,
 		})
 	}
+	p.batchViews = make([]moduleViews, geo.MaxModules)
+	for i := range p.batchViews {
+		p.batchViews[i].views = make([]stage.View, geo.Stages)
+	}
+	p.cfgGen.Store(1)
 	p.Chain = reconfig.NewDaisyChain(p)
 	return p
 }
@@ -302,6 +326,144 @@ func (p *Pipeline) processLocked(data []byte, ingressPort uint8) (*Output, *Trac
 	return out, tr, nil
 }
 
+// BatchResult is the reduced per-frame outcome of the batched fast path.
+// Unlike Output it carries no PHV or per-stage trace, and its Data buffer
+// is reused across ProcessBatch calls: consume (or copy) it before the
+// slice is submitted again.
+type BatchResult struct {
+	// Data is the processed frame (nil when dropped). The buffer is owned
+	// by the result slice and recycled on the next ProcessBatch call.
+	Data []byte
+	// ModuleID is the frame's VLAN-carried module ID.
+	ModuleID uint16
+	// EgressPort is the destination port chosen by the pipeline.
+	EgressPort uint8
+	// Dropped is true when the frame was discarded.
+	Dropped bool
+	// DiscardedByModule is true when a module action (not the filter)
+	// discarded the frame.
+	DiscardedByModule bool
+	// Verdict is the packet filter's classification.
+	Verdict reconfig.Verdict
+	// Err records a per-frame processing error (the frame counts as
+	// dropped); other frames of the batch are unaffected.
+	Err error
+	// buf is the reusable backing storage Data points into on success.
+	buf []byte
+}
+
+// ProcessBatch pushes a batch of frames through the pipeline under a
+// single lock acquisition, writing outcomes into res (which must be at
+// least as long as frames). It is the engine's fast path: per-frame
+// Output/trace allocations are skipped and each res[i].Data buffer is
+// reused across calls, so steady-state processing allocates nothing.
+// A per-frame error is recorded in res[i].Err and does not abort the
+// batch.
+func (p *Pipeline) ProcessBatch(frames [][]byte, ingressPort uint8, res []BatchResult) error {
+	if len(res) < len(frames) {
+		return fmt.Errorf("core: result slice too short: %d results for %d frames", len(res), len(frames))
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	gen := p.cfgGen.Load()
+	var v phv.PHV
+	for i, data := range frames {
+		p.processBatchFrame(data, ingressPort, gen, &v, &res[i])
+	}
+	return nil
+}
+
+// InvalidateBatchViews forces ProcessBatch to re-resolve cached module
+// configuration. Every command-path write calls it; it is exported for
+// callers that mutate stage tables directly.
+func (p *Pipeline) InvalidateBatchViews() { p.cfgGen.Add(1) }
+
+// processBatchFrame is processLocked minus the allocations: no Output,
+// no StageResults, no PHV copy-out, and the deparse buffer is recycled
+// from the previous use of r.
+func (p *Pipeline) processBatchFrame(data []byte, ingressPort uint8, gen uint64, v *phv.PHV, r *BatchResult) {
+	r.Data = nil
+	r.EgressPort = 0
+	r.Dropped = false
+	r.DiscardedByModule = false
+	r.Err = nil
+
+	cls := p.Filter.Classify(data, p.Options.NumParsers)
+	r.Verdict = cls.Verdict
+	r.ModuleID = cls.ModuleID
+	if cls.Verdict != reconfig.VerdictData {
+		r.Dropped = true
+		if s, ok := p.stats[cls.ModuleID]; ok && cls.Verdict == reconfig.VerdictDropUpdating {
+			s.Drops.Add(1)
+		}
+		return
+	}
+	if err := p.checkModule(cls.ModuleID); err != nil {
+		r.Dropped = true
+		r.Err = err
+		return
+	}
+
+	// Resolve (or reuse) the module's cached per-stage configuration.
+	mv := &p.batchViews[cls.ModuleID]
+	if mv.gen != gen {
+		for i, st := range p.Stages {
+			mv.views[i] = st.ViewFor(int(cls.ModuleID))
+		}
+		mv.parse, _ = p.Parser.EntryRef(int(cls.ModuleID))
+		mv.deparse, _ = p.Deparser.EntryRef(int(cls.ModuleID))
+		mv.stats = p.statsLocked(cls.ModuleID)
+		mv.gen = gen
+	}
+
+	if mv.parse == nil {
+		// Unknown module: no parser entry installed. Drop.
+		r.Dropped = true
+		return
+	}
+	if err := parser.ParseWith(mv.parse, data, v); err != nil {
+		r.Dropped = true
+		r.Err = err
+		return
+	}
+	v.ModuleID = cls.ModuleID
+	v.SetIngress(ingressPort)
+	v.SetBufferTag(cls.BufferTag)
+
+	for i, st := range p.Stages {
+		if _, err := st.ProcessView(&mv.views[i], v); err != nil {
+			r.Dropped = true
+			r.Err = fmt.Errorf("stage %d: %w", i, err)
+			return
+		}
+		if v.Discarded() {
+			break
+		}
+	}
+
+	if v.Discarded() {
+		r.Dropped = true
+		r.DiscardedByModule = true
+		mv.stats.Drops.Add(1)
+		return
+	}
+
+	r.buf = append(r.buf[:0], data...)
+	// A module may legitimately modify nothing; a missing deparser entry
+	// (mv.deparse == nil) means "no writebacks".
+	if mv.deparse != nil {
+		if err := parser.DeparseWith(mv.deparse, r.buf, v); err != nil {
+			r.Dropped = true
+			r.Err = err
+			return
+		}
+	}
+	r.Data = r.buf
+	r.EgressPort = v.Egress()
+	mv.stats.Packets.Add(1)
+	mv.stats.Bytes.Add(uint64(len(data)))
+}
+
 func (p *Pipeline) statsLocked(moduleID uint16) *ModuleStats {
 	s, ok := p.stats[moduleID]
 	if !ok {
@@ -369,6 +531,7 @@ func DecodeKeyExtract(b []byte) (stage.KeyExtractEntry, error) {
 // command to the element it addresses. Updating an entry touches only
 // that entry — the no-disruption property.
 func (p *Pipeline) Apply(cmd reconfig.Command) error {
+	defer p.InvalidateBatchViews()
 	kind := cmd.Resource.Kind()
 	if !kind.Stageless() {
 		if s := cmd.Resource.Stage(); s >= len(p.Stages) {
@@ -436,6 +599,11 @@ func (p *Pipeline) UnloadModule(moduleID uint16) error {
 	idx := int(moduleID)
 	p.Filter.SetUpdating(moduleID, true)
 	defer p.Filter.SetUpdating(moduleID, false)
+	// Registered after SetUpdating(false) so it runs first (LIFO): the
+	// cached views must be invalidated before the update bit clears, or
+	// a concurrent ProcessBatch could serve the unloaded module from a
+	// stale view against a zeroed (possibly reassigned) segment.
+	defer p.InvalidateBatchViews()
 	if err := p.Parser.Table().Clear(idx); err != nil {
 		return err
 	}

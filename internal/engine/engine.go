@@ -1,0 +1,280 @@
+// Package engine is the concurrent, batched dataplane runtime: the
+// software path from "one synchronous Send at a time" to the paper's
+// 100 Gbit/s-class operating point. It follows the standard line-rate
+// software dataplane recipe (cf. NDN-DPDK): RSS-style flow steering
+// fans frames out to N worker shards, each worker owns a replica of the
+// pipeline configuration and services per-tenant RX rings in round
+// robin, and frames move through the pipeline in batches so locks,
+// table-configuration reads, and telemetry are amortized across the
+// batch.
+//
+// Sharding model: every worker holds its own core.Pipeline replica,
+// configured identically at engine creation by replaying each module's
+// reconfiguration commands (the same §4.1 procedure the control plane
+// uses). Steering is deterministic per flow, so per-flow state lands on
+// a consistent shard — the same contract a multi-queue NIC's RSS gives
+// per-core software dataplanes. Per-module stateful memory is therefore
+// sharded per worker; cross-flow aggregate state (e.g. a NetCache
+// counter) is per-shard, exactly as per-core state is in DPDK-class
+// systems.
+//
+// Isolation: tenants keep their Menshen guarantees inside each pipeline
+// replica, and the engine adds edge enforcement — per-tenant token
+// buckets (internal/sched) at submission, per-tenant rings so one
+// tenant's burst cannot occupy another tenant's queue space, and
+// round-robin service so a backlogged tenant cannot starve others on
+// the same shard.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ctrlplane"
+	"repro/internal/sched"
+)
+
+// Errors surfaced by the engine.
+var (
+	// ErrClosed is returned by operations on a closed engine.
+	ErrClosed = errors.New("engine: closed")
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultWorkers    = 4
+	DefaultQueueDepth = 1024
+	DefaultBatchSize  = 32
+)
+
+// ModuleSpec is one module to install into every worker's pipeline
+// replica: the compiled configuration plus the placement the resource
+// checker admitted it at.
+type ModuleSpec struct {
+	Config    *core.ModuleConfig
+	Placement core.Placement
+}
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Workers is the number of pipeline shards (default 4).
+	Workers int
+	// QueueDepth bounds each per-tenant, per-worker RX ring in frames
+	// (default 1024).
+	QueueDepth int
+	// BatchSize is the maximum frames a worker moves through its
+	// pipeline per batch (default 32).
+	BatchSize int
+	// DropOnFull selects the backpressure policy when a tenant's ring is
+	// full: true tail-drops the frame (counted per tenant), false blocks
+	// the submitter until the worker catches up.
+	DropOnFull bool
+	// Geometry and Options configure each worker's pipeline replica;
+	// use the device's values so shards match the loaded hardware model.
+	Geometry core.Geometry
+	Options  core.Options
+	// Modules are replayed into every worker shard at creation.
+	Modules []ModuleSpec
+	// OnBatch, when set, observes every processed batch on the worker
+	// goroutine. Results (including their Data buffers) are only valid
+	// for the duration of the callback — copy anything retained.
+	OnBatch func(workerID int, tenant uint16, results []core.BatchResult)
+}
+
+// Engine is a running dataplane: create with New, feed with Submit or
+// SubmitBatch, snapshot telemetry with Stats, stop with Close.
+type Engine struct {
+	cfg     Config
+	workers []*worker
+	tel     *telemetry
+	limiter *sched.RateLimiter
+	start   time.Time
+
+	mu      sync.Mutex // guards lifecycle state
+	closed  bool
+	scratch sync.Pool // *submitScratch
+}
+
+// New builds the worker shards, replays the module set into each
+// replica pipeline, and starts the worker goroutines.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = DefaultWorkers
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = DefaultBatchSize
+	}
+	if cfg.Geometry.Stages == 0 {
+		cfg.Geometry = core.DefaultGeometry()
+	}
+	if cfg.Options.NumParsers == 0 {
+		cfg.Options = core.Optimized()
+	}
+	e := &Engine{
+		cfg:     cfg,
+		tel:     newTelemetry(),
+		limiter: sched.NewRateLimiter(),
+		start:   time.Now(),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		pipe := core.New(cfg.Geometry, cfg.Options)
+		client := ctrlplane.New(pipe)
+		for _, m := range cfg.Modules {
+			if _, err := client.LoadModule(m.Config, m.Placement); err != nil {
+				return nil, fmt.Errorf("engine: worker %d: replaying module %d: %w", i, m.Config.ModuleID, err)
+			}
+		}
+		e.workers = append(e.workers, newWorker(i, e, pipe))
+	}
+	for _, w := range e.workers {
+		go w.run()
+	}
+	return e, nil
+}
+
+// Workers returns the number of shards.
+func (e *Engine) Workers() int { return len(e.workers) }
+
+// SetTenantLimit installs a per-tenant token-bucket allowance enforced
+// at submission (§5's edge rate limiters). Zero disables a dimension.
+func (e *Engine) SetTenantLimit(tenant uint16, pps, bps float64) {
+	e.limiter.SetLimit(tenant, sched.ModuleLimit{PPS: pps, BPS: bps})
+	e.tel.hasLimits.Store(true)
+}
+
+// ClearTenantLimit removes a tenant's allowance. (The limiter fast-path
+// flag stays set; clearing it would race concurrent submitters.)
+func (e *Engine) ClearTenantLimit(tenant uint16) { e.limiter.ClearLimit(tenant) }
+
+// Submit steers one frame to its shard and enqueues it on the frame
+// tenant's ring. It reports whether the frame was accepted: false means
+// it was rate-limited or tail-dropped (counted in Stats), or the engine
+// is closed (ErrClosed). With DropOnFull unset Submit blocks while the
+// tenant's ring is full. The engine takes ownership of the frame buffer
+// until its batch completes.
+func (e *Engine) Submit(frame []byte) (bool, error) {
+	n, err := e.SubmitBatch([][]byte{frame})
+	return n == 1, err
+}
+
+// submitScratch groups a submitted batch by destination worker so each
+// worker's ring lock is taken once per SubmitBatch call instead of once
+// per frame. Pooled to keep the submit path allocation-free.
+type submitScratch struct {
+	frames  [][][]byte // per worker
+	tenants [][]uint16 // per worker, parallel to frames
+}
+
+func (e *Engine) getScratch() *submitScratch {
+	if s, ok := e.scratch.Get().(*submitScratch); ok {
+		return s
+	}
+	return &submitScratch{
+		frames:  make([][][]byte, len(e.workers)),
+		tenants: make([][]uint16, len(e.workers)),
+	}
+}
+
+// SubmitBatch steers and enqueues a batch, returning how many frames
+// were accepted. It is safe to call concurrently from any number of
+// producers.
+func (e *Engine) SubmitBatch(frames [][]byte) (int, error) {
+	if e.isClosed() {
+		return 0, ErrClosed
+	}
+	sc := e.getScratch()
+	var tc *tenantCounters
+	lastTenant := -1
+	run := uint64(0) // Submitted frames of the current tenant run
+	hasLimits := e.tel.hasLimits.Load()
+	var now float64
+	if hasLimits {
+		now = time.Since(e.start).Seconds() // one clock read per call, not per frame
+	}
+	for _, f := range frames {
+		wid, tenant := steer(f, len(e.workers))
+		if int(tenant) != lastTenant {
+			if run > 0 {
+				tc.Submitted.Add(run)
+				run = 0
+			}
+			tc = e.tel.tenant(tenant)
+			lastTenant = int(tenant)
+		}
+		run++
+		if hasLimits && !e.limiter.Allow(tenant, len(f), now) {
+			tc.RateLimited.Add(1)
+			continue
+		}
+		sc.frames[wid] = append(sc.frames[wid], f)
+		sc.tenants[wid] = append(sc.tenants[wid], tenant)
+	}
+	if run > 0 {
+		tc.Submitted.Add(run)
+	}
+	accepted := 0
+	for wid := range sc.frames {
+		if len(sc.frames[wid]) == 0 {
+			continue
+		}
+		accepted += e.workers[wid].enqueueMany(sc.frames[wid], sc.tenants[wid], e.cfg.DropOnFull)
+		sc.frames[wid] = sc.frames[wid][:0]
+		sc.tenants[wid] = sc.tenants[wid][:0]
+	}
+	e.scratch.Put(sc)
+	return accepted, nil
+}
+
+// Drain blocks until every queued frame has been processed. Frames
+// submitted concurrently with Drain may or may not be covered.
+func (e *Engine) Drain() {
+	for _, w := range e.workers {
+		w.drain()
+	}
+}
+
+// Close drains every ring, stops the workers, and marks the engine
+// closed; subsequent submissions return ErrClosed. Close is idempotent
+// (second and later calls return ErrClosed).
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	e.closed = true
+	e.mu.Unlock()
+	for _, w := range e.workers {
+		w.close()
+	}
+	for _, w := range e.workers {
+		<-w.done
+	}
+	return nil
+}
+
+func (e *Engine) isClosed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.closed
+}
+
+// Stats snapshots the engine's telemetry.
+func (e *Engine) Stats() Stats {
+	return e.tel.snapshot(e.workers, time.Since(e.start))
+}
+
+// Pipeline exposes a worker shard's pipeline (for tests and advanced
+// inspection of per-shard state).
+func (e *Engine) Pipeline(workerID int) (*core.Pipeline, error) {
+	if workerID < 0 || workerID >= len(e.workers) {
+		return nil, fmt.Errorf("engine: worker %d out of range [0,%d)", workerID, len(e.workers))
+	}
+	return e.workers[workerID].pipe, nil
+}

@@ -1,0 +1,83 @@
+// RSS-style flow steering: a deterministic hash over the flow identity
+// picks the worker shard, so packets of one flow always land on the
+// same pipeline replica (and therefore see consistent per-flow state),
+// exactly as a multi-queue NIC steers flows to cores.
+package engine
+
+import (
+	"encoding/binary"
+
+	"repro/internal/packet"
+)
+
+// Frame offsets of the standard Ethernet+802.1Q+IPv4+UDP header stack
+// come from internal/packet (the single source of truth for the
+// layout): the steering hash reads them directly instead of paying for
+// a full decode per frame.
+const (
+	offTPID    = packet.OffTPID
+	offTCI     = packet.OffTCI
+	offEther   = packet.OffEtherType
+	offIPProto = packet.OffIPProto
+	offIPSrc   = packet.OffIPSrc
+	offUDP     = packet.OffUDP // src+dst port, 4 bytes
+
+	etherVLAN = packet.EtherTypeVLAN
+	etherIPv4 = packet.EtherTypeIPv4
+)
+
+// fnv64 constants.
+const (
+	fnvOffset = 0xcbf29ce484222325
+	fnvPrime  = 0x100000001b3
+)
+
+func fnvAdd(h uint64, b []byte) uint64 {
+	for _, c := range b {
+		h = (h ^ uint64(c)) * fnvPrime
+	}
+	return h
+}
+
+// mix64 is a splitmix64-style finalizer: cheap, and avalanches every
+// input bit across the output so `mod nWorkers` spreads flows evenly.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 29
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 32
+	return x
+}
+
+// steer returns the worker shard and tenant (VLAN/module ID) for a
+// frame. Tagged IPv4 frames hash the tenant plus the 5-tuple (src/dst
+// address, protocol, src/dst port) with three word loads; anything else
+// falls back to FNV over the first bytes of the frame, which keeps
+// malformed input both deterministic and spread out. nWorkers must
+// be > 0.
+func steer(frame []byte, nWorkers int) (int, uint16) {
+	var tenant uint16
+	var h uint64
+	switch {
+	case len(frame) >= offUDP+4 &&
+		binary.BigEndian.Uint16(frame[offTPID:]) == etherVLAN &&
+		binary.BigEndian.Uint16(frame[offEther:]) == etherIPv4:
+		tenant = binary.BigEndian.Uint16(frame[offTCI:]) & 0x0fff
+		addrs := binary.LittleEndian.Uint64(frame[offIPSrc:]) // src + dst IPv4
+		ports := uint64(binary.LittleEndian.Uint32(frame[offUDP:]))
+		proto := uint64(frame[offIPProto])
+		h = mix64(addrs ^ mix64(ports<<20|proto<<12|uint64(tenant)))
+	case len(frame) >= offTCI+2 &&
+		binary.BigEndian.Uint16(frame[offTPID:]) == etherVLAN:
+		tenant = binary.BigEndian.Uint16(frame[offTCI:]) & 0x0fff
+		h = mix64(fnvAdd(fnvOffset, frame[:offTCI+2]))
+	default:
+		n := len(frame)
+		if n > 32 {
+			n = 32
+		}
+		h = mix64(fnvAdd(fnvOffset, frame[:n]))
+	}
+	return int(h % uint64(nWorkers)), tenant
+}

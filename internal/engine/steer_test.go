@@ -1,0 +1,72 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/trafficgen"
+)
+
+func TestSteerDeterministic(t *testing.T) {
+	frame := trafficgen.CalcPacket(3, trafficgen.CalcAdd, 1, 2, 0)
+	w0, tenant := steer(frame, 4)
+	if tenant != 3 {
+		t.Fatalf("tenant = %d, want 3 (VLAN ID)", tenant)
+	}
+	for i := 0; i < 100; i++ {
+		w, tn := steer(frame, 4)
+		if w != w0 || tn != tenant {
+			t.Fatalf("steer not deterministic: (%d,%d) then (%d,%d)", w0, tenant, w, tn)
+		}
+	}
+}
+
+func TestSteerSameFlowSameWorker(t *testing.T) {
+	// Two frames of the same flow with different payloads must land on
+	// the same worker (per-flow state consistency).
+	a := trafficgen.CalcPacket(1, trafficgen.CalcAdd, 10, 20, 0)
+	b := trafficgen.CalcPacket(1, trafficgen.CalcSub, 999, 1, 256)
+	wa, _ := steer(a, 8)
+	wb, _ := steer(b, 8)
+	if wa != wb {
+		t.Fatalf("same flow split across workers: %d vs %d", wa, wb)
+	}
+}
+
+func TestSteerSpreadsFlows(t *testing.T) {
+	// Many distinct flows should not all collapse onto one worker.
+	seen := map[int]bool{}
+	for flow := 0; flow < 64; flow++ {
+		f := trafficgen.FlowPacket(1,
+			[4]byte{10, 0, 1, 1}, [4]byte{10, 0, 1, 2},
+			uint16(4000+flow), 5000, 0)
+		w, _ := steer(f, 4)
+		seen[w] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("64 flows all steered to one worker of 4")
+	}
+}
+
+func TestSteerMalformedFrames(t *testing.T) {
+	// Short and untagged frames must still steer deterministically and
+	// fall into tenant 0.
+	frames := [][]byte{
+		nil,
+		{0x01},
+		make([]byte, 14), // untagged ethernet, no VLAN
+		make([]byte, 20),
+	}
+	for _, f := range frames {
+		w1, tn1 := steer(f, 4)
+		w2, tn2 := steer(f, 4)
+		if w1 != w2 || tn1 != tn2 {
+			t.Fatalf("malformed frame steering not deterministic")
+		}
+		if tn1 != 0 {
+			t.Fatalf("malformed frame tenant = %d, want 0", tn1)
+		}
+		if w1 < 0 || w1 >= 4 {
+			t.Fatalf("worker %d out of range", w1)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+// Telemetry: lock-free per-tenant and per-worker counters plus a
+// log-scale batch-latency histogram, snapshotted on demand.
+package engine
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// tenantCounters accumulates one tenant's traffic accounting. All
+// fields are written with atomics from submitters and workers.
+type tenantCounters struct {
+	Submitted     atomic.Uint64 // frames offered to SubmitBatch
+	RateLimited   atomic.Uint64 // dropped by the token bucket at ingress
+	QueueFull     atomic.Uint64 // tail-dropped at a full ring
+	Processed     atomic.Uint64 // frames the pipeline forwarded
+	PipelineDrops atomic.Uint64 // frames the pipeline discarded
+	Bytes         atomic.Uint64 // forwarded bytes
+}
+
+// workerCounters accumulates one worker's service accounting. Batch
+// timing is sampled (see worker.run), so BusyNs covers Sampled batches.
+type workerCounters struct {
+	Batches atomic.Uint64
+	Frames  atomic.Uint64
+	Sampled atomic.Uint64
+	BusyNs  atomic.Uint64
+	latency latHist
+}
+
+// latHist is a log2-bucketed latency histogram: bucket i counts
+// observations with bits.Len64(ns) == i, i.e. [2^(i-1), 2^i).
+type latHist struct {
+	buckets [64]atomic.Uint64
+}
+
+func (h *latHist) observe(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[bits.Len64(uint64(ns))].Add(1)
+}
+
+// quantile returns an approximate q-quantile in nanoseconds (geometric
+// bucket midpoint), or 0 with no observations.
+func (h *latHist) quantile(q float64) float64 {
+	var total uint64
+	var counts [64]uint64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen uint64
+	for i, c := range counts {
+		seen += c
+		if seen > rank {
+			if i == 0 {
+				return 0
+			}
+			lo := math.Exp2(float64(i - 1))
+			hi := math.Exp2(float64(i))
+			return math.Sqrt(lo * hi) // geometric midpoint of the bucket
+		}
+	}
+	return 0
+}
+
+// telemetry is the engine-wide registry.
+type telemetry struct {
+	mu      sync.RWMutex
+	tenants map[uint16]*tenantCounters
+	// hasLimits short-circuits the rate-limiter (and its clock read) on
+	// the submit fast path until the first SetTenantLimit call.
+	hasLimits atomic.Bool
+}
+
+func newTelemetry() *telemetry {
+	return &telemetry{tenants: make(map[uint16]*tenantCounters)}
+}
+
+// tenant returns (creating if needed) a tenant's counter block.
+func (t *telemetry) tenant(id uint16) *tenantCounters {
+	t.mu.RLock()
+	tc := t.tenants[id]
+	t.mu.RUnlock()
+	if tc != nil {
+		return tc
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if tc = t.tenants[id]; tc == nil {
+		tc = &tenantCounters{}
+		t.tenants[id] = tc
+	}
+	return tc
+}
+
+// TenantStats is a point-in-time copy of one tenant's counters.
+type TenantStats struct {
+	Submitted     uint64
+	RateLimited   uint64
+	QueueFull     uint64
+	Processed     uint64
+	PipelineDrops uint64
+	Bytes         uint64
+}
+
+// Dropped is the tenant's total drop count across all causes.
+func (s TenantStats) Dropped() uint64 { return s.RateLimited + s.QueueFull + s.PipelineDrops }
+
+// WorkerStats is a point-in-time copy of one worker's counters.
+type WorkerStats struct {
+	Batches uint64
+	Frames  uint64
+	// Busy estimates the cumulative time spent inside ProcessBatch,
+	// extrapolated from the sampled batches.
+	Busy time.Duration
+	// P50BatchLatency / P99BatchLatency approximate the batch service
+	// time distribution (log-bucket midpoints).
+	P50BatchLatency time.Duration
+	P99BatchLatency time.Duration
+}
+
+// AvgBatch is the mean frames per batch.
+func (s WorkerStats) AvgBatch() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.Frames) / float64(s.Batches)
+}
+
+// Stats is a snapshot of the whole engine.
+type Stats struct {
+	// Tenants maps tenant (module) ID to its counters.
+	Tenants map[uint16]TenantStats
+	// Workers holds per-shard service stats, indexed by worker ID.
+	Workers []WorkerStats
+	// Uptime is the time since the engine started.
+	Uptime time.Duration
+}
+
+// TenantIDs returns the snapshot's tenant IDs in ascending order.
+func (s Stats) TenantIDs() []uint16 {
+	ids := make([]uint16, 0, len(s.Tenants))
+	for id := range s.Tenants {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Totals sums the per-tenant counters.
+func (s Stats) Totals() TenantStats {
+	var tot TenantStats
+	for _, ts := range s.Tenants {
+		tot.Submitted += ts.Submitted
+		tot.RateLimited += ts.RateLimited
+		tot.QueueFull += ts.QueueFull
+		tot.Processed += ts.Processed
+		tot.PipelineDrops += ts.PipelineDrops
+		tot.Bytes += ts.Bytes
+	}
+	return tot
+}
+
+func (t *telemetry) snapshot(workers []*worker, uptime time.Duration) Stats {
+	st := Stats{Tenants: make(map[uint16]TenantStats), Uptime: uptime}
+	t.mu.RLock()
+	for id, tc := range t.tenants {
+		st.Tenants[id] = TenantStats{
+			Submitted:     tc.Submitted.Load(),
+			RateLimited:   tc.RateLimited.Load(),
+			QueueFull:     tc.QueueFull.Load(),
+			Processed:     tc.Processed.Load(),
+			PipelineDrops: tc.PipelineDrops.Load(),
+			Bytes:         tc.Bytes.Load(),
+		}
+	}
+	t.mu.RUnlock()
+	for _, w := range workers {
+		ws := WorkerStats{
+			Batches:         w.stats.Batches.Load(),
+			Frames:          w.stats.Frames.Load(),
+			P50BatchLatency: time.Duration(w.stats.latency.quantile(0.50)),
+			P99BatchLatency: time.Duration(w.stats.latency.quantile(0.99)),
+		}
+		if sampled := w.stats.Sampled.Load(); sampled > 0 {
+			// float64 keeps long-running engines from overflowing the
+			// uint64 product of two growing counters.
+			ws.Busy = time.Duration(float64(w.stats.BusyNs.Load()) / float64(sampled) * float64(ws.Batches))
+		}
+		st.Workers = append(st.Workers, ws)
+	}
+	return st
+}

@@ -1,0 +1,226 @@
+// Worker shard: one pipeline replica fed by per-tenant RX rings.
+package engine
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// ring is a fixed-capacity FIFO of frames for one tenant on one worker.
+type ring struct {
+	buf   [][]byte
+	head  int
+	count int
+}
+
+func newRing(capacity int) *ring { return &ring{buf: make([][]byte, capacity)} }
+
+func (r *ring) full() bool { return r.count == len(r.buf) }
+
+func (r *ring) push(f []byte) {
+	r.buf[(r.head+r.count)%len(r.buf)] = f
+	r.count++
+}
+
+func (r *ring) pop() []byte {
+	f := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) % len(r.buf)
+	r.count--
+	return f
+}
+
+// worker owns one pipeline replica and the rings that feed it.
+type worker struct {
+	id   int
+	eng  *Engine
+	pipe *core.Pipeline
+	done chan struct{}
+
+	mu       sync.Mutex
+	notEmpty *sync.Cond // signaled when frames arrive or the worker is closed
+	notFull  *sync.Cond // signaled when ring space frees up or a batch completes
+
+	queues  map[uint16]*ring
+	order   []uint16 // round-robin service order over tenants
+	rr      int
+	pending int // frames across all rings
+	busy    bool
+	closing bool
+
+	// reusable batch scratch (worker goroutine only)
+	batch [][]byte
+	res   []core.BatchResult
+	stats workerCounters
+}
+
+func newWorker(id int, e *Engine, pipe *core.Pipeline) *worker {
+	w := &worker{
+		id:     id,
+		eng:    e,
+		pipe:   pipe,
+		done:   make(chan struct{}),
+		queues: make(map[uint16]*ring),
+		batch:  make([][]byte, 0, e.cfg.BatchSize),
+		res:    make([]core.BatchResult, e.cfg.BatchSize),
+	}
+	w.notEmpty = sync.NewCond(&w.mu)
+	w.notFull = sync.NewCond(&w.mu)
+	return w
+}
+
+// queueLocked returns (creating if needed) the tenant's ring; the
+// caller holds w.mu.
+func (w *worker) queueLocked(tenant uint16) *ring {
+	q := w.queues[tenant]
+	if q == nil {
+		q = newRing(w.eng.cfg.QueueDepth)
+		w.queues[tenant] = q
+		w.order = append(w.order, tenant)
+	}
+	return q
+}
+
+// enqueueMany appends a run of frames (with per-frame tenants) under a
+// single lock acquisition and returns how many were accepted. With
+// drop=false it blocks while a destination ring is full; with drop=true
+// a full ring tail-drops the frame. Frames rejected because the engine
+// is closing count as queue-full drops.
+func (w *worker) enqueueMany(frames [][]byte, tenants []uint16, drop bool) int {
+	accepted := 0
+	w.mu.Lock()
+	var q *ring
+	lastTenant := -1
+	for i, f := range frames {
+		tenant := tenants[i]
+		if int(tenant) != lastTenant {
+			q = w.queueLocked(tenant)
+			lastTenant = int(tenant)
+		}
+		for q.full() && !w.closing && !drop {
+			w.notFull.Wait()
+		}
+		if w.closing || q.full() {
+			w.eng.tel.tenant(tenant).QueueFull.Add(1)
+			continue
+		}
+		q.push(f)
+		w.pending++
+		accepted++
+	}
+	w.mu.Unlock()
+	if accepted > 0 {
+		w.notEmpty.Signal()
+	}
+	return accepted
+}
+
+// nextLocked picks the next tenant with queued frames, round robin.
+func (w *worker) nextLocked() (uint16, *ring) {
+	for range w.order {
+		t := w.order[w.rr%len(w.order)]
+		w.rr++
+		if q := w.queues[t]; q.count > 0 {
+			return t, q
+		}
+	}
+	return 0, nil
+}
+
+// run is the worker loop: wait for frames, service the next tenant's
+// ring for up to one batch, push the batch through the pipeline shard,
+// record telemetry, repeat. On close it drains every ring before
+// exiting.
+func (w *worker) run() {
+	defer close(w.done)
+	for {
+		w.mu.Lock()
+		for w.pending == 0 && !w.closing {
+			w.notEmpty.Wait()
+		}
+		if w.pending == 0 && w.closing {
+			w.mu.Unlock()
+			return
+		}
+		tenant, q := w.nextLocked()
+		n := q.count
+		if n > w.eng.cfg.BatchSize {
+			n = w.eng.cfg.BatchSize
+		}
+		w.batch = w.batch[:0]
+		for i := 0; i < n; i++ {
+			w.batch = append(w.batch, q.pop())
+		}
+		w.pending -= n
+		w.busy = true
+		w.mu.Unlock()
+		w.notFull.Broadcast() // ring space freed
+
+		// Sample batch service time 1-in-8: clock reads are expensive
+		// relative to a batch, and the latency distribution does not
+		// need every observation.
+		batches := w.stats.Batches.Add(1)
+		sample := batches&7 == 0 || batches <= 8
+		var start time.Time
+		if sample {
+			start = time.Now()
+		}
+		res := w.res[:n]
+		err := w.pipe.ProcessBatch(w.batch, 0, res)
+		if sample {
+			elapsed := time.Since(start)
+			w.stats.Sampled.Add(1)
+			w.stats.BusyNs.Add(uint64(elapsed.Nanoseconds()))
+			w.stats.latency.observe(elapsed.Nanoseconds())
+		}
+		w.stats.Frames.Add(uint64(n))
+		tc := w.eng.tel.tenant(tenant)
+		var processed, bytes, drops uint64
+		if err != nil {
+			// The whole batch failed before processing (result slice
+			// misuse — impossible here, but account it as dropped).
+			drops = uint64(n)
+		} else {
+			for i := range res {
+				if res[i].Dropped {
+					drops++
+				} else {
+					processed++
+					bytes += uint64(len(res[i].Data))
+				}
+			}
+		}
+		tc.Processed.Add(processed)
+		tc.Bytes.Add(bytes)
+		tc.PipelineDrops.Add(drops)
+		if cb := w.eng.cfg.OnBatch; cb != nil && err == nil {
+			cb(w.id, tenant, res)
+		}
+
+		w.mu.Lock()
+		w.busy = false
+		w.mu.Unlock()
+		w.notFull.Broadcast() // wake Drain waiters
+	}
+}
+
+// drain blocks until this worker has no queued or in-flight frames.
+func (w *worker) drain() {
+	w.mu.Lock()
+	for w.pending > 0 || w.busy {
+		w.notFull.Wait()
+	}
+	w.mu.Unlock()
+}
+
+// close asks the worker to drain its rings and exit, and releases any
+// blocked submitters.
+func (w *worker) close() {
+	w.mu.Lock()
+	w.closing = true
+	w.mu.Unlock()
+	w.notEmpty.Broadcast()
+	w.notFull.Broadcast()
+}

@@ -97,6 +97,23 @@ const (
 	offEtherType = 16
 )
 
+// Exported offsets of the standard Ethernet+802.1Q+IPv4+UDP header
+// stack within a tagged frame, for per-frame fast paths (packet filter,
+// engine steering, traffic generation) that read fields directly
+// instead of paying for a full Decode. They are the single source of
+// truth for the frame layout.
+const (
+	OffTPID      = offTPID
+	OffTCI       = offTCI
+	OffEtherType = offEtherType
+	OffIPv4      = EthernetHeaderLen + VLANTagLen
+	OffIPProto   = OffIPv4 + 9
+	OffIPSrc     = OffIPv4 + 12
+	OffIPDst     = OffIPv4 + 16
+	OffUDP       = OffIPv4 + IPv4HeaderLen
+	OffUDPDst    = OffUDP + 2
+)
+
 // DecodeEthernet parses the Ethernet+VLAN headers from data. It does not
 // allocate. Untagged frames return ErrNoVLAN with the outer ethertype
 // still reported in e.EtherType.

@@ -185,16 +185,27 @@ func ExtractModuleID(data []byte) (uint16, error) {
 // containers from the first 128 bytes of data. Fields beyond the end of a
 // short packet read as zero, as a hardware byte-shifter would produce.
 func (p *Parser) Parse(data []byte, modIdx int, v *phv.PHV) error {
-	entry, ok := p.table.Lookup(modIdx)
+	entry, ok := p.table.Ref(modIdx)
 	if !ok {
 		return fmt.Errorf("%w: index %d", ErrNoConfig, modIdx)
 	}
+	return ParseWith(entry, data, v)
+}
+
+// EntryRef returns the module's parse entry inside the current table
+// snapshot (read-only), for batched callers that resolve it once.
+func (p *Parser) EntryRef(modIdx int) (*Entry, bool) { return p.table.Ref(modIdx) }
+
+// ParseWith is Parse with the module's entry pre-resolved (see
+// EntryRef) — the batched fast path.
+func ParseWith(entry *Entry, data []byte, v *phv.PHV) error {
 	v.Zero()
 	if len(data) > 0xffff {
 		return fmt.Errorf("parser: packet length %d exceeds 16-bit metadata field", len(data))
 	}
 	v.SetPacketLen(uint16(len(data)))
-	for _, a := range entry.Actions {
+	for i := range entry.Actions {
+		a := &entry.Actions[i]
 		if !a.Valid {
 			continue
 		}
@@ -247,10 +258,20 @@ func (d *Deparser) Set(idx int, e Entry) error {
 // updating only the portions of the packet the pipeline may have modified
 // (§4.1). Writes beyond the end of the packet are truncated.
 func (d *Deparser) Deparse(data []byte, modIdx int, v *phv.PHV) error {
-	entry, ok := d.table.Lookup(modIdx)
+	entry, ok := d.table.Ref(modIdx)
 	if !ok {
 		return fmt.Errorf("%w: deparser index %d", ErrNoConfig, modIdx)
 	}
+	return DeparseWith(entry, data, v)
+}
+
+// EntryRef returns the module's deparse entry inside the current table
+// snapshot (read-only), for batched callers that resolve it once.
+func (d *Deparser) EntryRef(modIdx int) (*Entry, bool) { return d.table.Ref(modIdx) }
+
+// DeparseWith is Deparse with the module's entry pre-resolved (see
+// EntryRef) — the batched fast path.
+func DeparseWith(entry *Entry, data []byte, v *phv.PHV) error {
 	for _, a := range entry.Actions {
 		if !a.Valid {
 			continue

@@ -152,11 +152,16 @@ func DecodePacket(data []byte) (moduleID uint16, cmd Command, err error) {
 // IsReconfigFrame reports whether the frame is addressed to the
 // reconfiguration UDP port — the packet filter's combinational check.
 func IsReconfigFrame(data []byte) bool {
-	var p packet.Packet
-	if err := packet.Decode(data, &p); err != nil {
+	// Equivalent to a full packet.Decode followed by the UDP port check,
+	// but with direct header reads — this runs per frame in the filter.
+	if len(data) < packet.StandardHeaderLen {
 		return false
 	}
-	return !p.IsTCP && p.UDP.DstPort == ReconfigUDPPort
+	return binary.BigEndian.Uint16(data[packet.OffTPID:]) == packet.EtherTypeVLAN &&
+		binary.BigEndian.Uint16(data[packet.OffEtherType:]) == packet.EtherTypeIPv4 &&
+		data[packet.OffIPv4]>>4 == 4 &&
+		data[packet.OffIPProto] == packet.ProtoUDP &&
+		binary.BigEndian.Uint16(data[packet.OffUDPDst:]) == ReconfigUDPPort
 }
 
 // Sink applies decoded configuration commands to pipeline resources. The
@@ -379,9 +384,14 @@ func (f *Filter) VerdictCount(v Verdict) uint64 {
 }
 
 func parserVLANID(data []byte) (uint16, error) {
-	var eth packet.Ethernet
-	if err := packet.DecodeEthernet(data, &eth); err != nil {
-		return 0, err
+	// Direct reads of TPID and TCI: this runs per frame in the filter
+	// and needs neither the MAC fields nor the inner ethertype.
+	if len(data) < packet.EthernetHeaderLen+packet.VLANTagLen {
+		return 0, fmt.Errorf("%w: vlan tag needs %d bytes, have %d",
+			packet.ErrTooShort, packet.EthernetHeaderLen+packet.VLANTagLen, len(data))
 	}
-	return eth.VLANID, nil
+	if binary.BigEndian.Uint16(data[packet.OffTPID:]) != packet.EtherTypeVLAN {
+		return 0, packet.ErrNoVLAN
+	}
+	return binary.BigEndian.Uint16(data[packet.OffTCI:]) & 0x0fff, nil
 }

@@ -183,20 +183,17 @@ func (e KeyExtractEntry) Validate() error {
 }
 
 // ExtractKey builds the padded 193-bit lookup key from the PHV: container
-// concatenation plus the predicate bit.
+// concatenation plus the predicate bit. The copies are written out with
+// constant offsets so the compiler lowers them to direct loads/stores on
+// the per-packet path.
 func (e KeyExtractEntry) ExtractKey(p *phv.PHV) (tables.Key, error) {
 	var k tables.Key
-	off := 0
-	put := func(b []byte) {
-		copy(k[off:], b)
-		off += len(b)
-	}
-	put(p.C6[e.C6[0]&0x7][:])
-	put(p.C6[e.C6[1]&0x7][:])
-	put(p.C4[e.C4[0]&0x7][:])
-	put(p.C4[e.C4[1]&0x7][:])
-	put(p.C2[e.C2[0]&0x7][:])
-	put(p.C2[e.C2[1]&0x7][:])
+	*(*[phv.Size6B]byte)(k[0:]) = p.C6[e.C6[0]&0x7]
+	*(*[phv.Size6B]byte)(k[6:]) = p.C6[e.C6[1]&0x7]
+	*(*[phv.Size4B]byte)(k[12:]) = p.C4[e.C4[0]&0x7]
+	*(*[phv.Size4B]byte)(k[16:]) = p.C4[e.C4[1]&0x7]
+	*(*[phv.Size2B]byte)(k[20:]) = p.C2[e.C2[0]&0x7]
+	*(*[phv.Size2B]byte)(k[22:]) = p.C2[e.C2[1]&0x7]
 
 	pred := false
 	if e.PredOp != PredNone {
@@ -305,6 +302,103 @@ func (s *Stage) Process(p *phv.PHV) (Result, error) {
 	}
 	env := alu.Env{PHV: p, Memory: s.Memory, Segments: s.Segments, ModIdx: modIdx}
 	memOps, err := alu.Execute(&action, &env)
+	res.MemOps = memOps
+	return res, err
+}
+
+// View caches one module's per-stage configuration: the key-extractor
+// entry, key mask, and a CAM snapshot bounded to the module's partition.
+// A batch of one module's packets resolves the configuration once and
+// then skips the per-packet overlay lookups — the software analogue of
+// §3.2's latency masking, where the module ID travels ahead of the PHV
+// so configuration reads are off the per-packet critical path. A View is
+// a point-in-time snapshot: reconfiguration during its lifetime is not
+// observed, which is safe because the packet filter drops the module's
+// packets for the duration of any update.
+type View struct {
+	// Active is false when the module has no key-extractor entry here;
+	// the stage passes its PHVs through untouched.
+	Active bool
+	// Entry and Mask are the module's key-construction configuration.
+	Entry   KeyExtractEntry
+	HasMask bool
+	Mask    tables.Key
+	// CAM is the match-table snapshot; only [CamLo, CamHi) can hold the
+	// module's entries (its space partition), so the scan is bounded by
+	// the module's own entry count.
+	CAM          []tables.CAMEntry
+	CamLo, CamHi int
+}
+
+// ViewFor resolves the module's configuration in this stage.
+func (s *Stage) ViewFor(modIdx int) View {
+	var v View
+	entry, ok := s.Extract.Lookup(modIdx)
+	if !ok {
+		return v
+	}
+	v.Active = true
+	v.Entry = entry
+	v.Mask, v.HasMask = s.Mask.Lookup(modIdx)
+	v.CAM = s.Match.Entries()
+	lo, hi, ok := s.Match.PartitionOf(uint16(modIdx))
+	if ok {
+		// A partition configured after entries were written (raw table
+		// use) may exclude existing valid entries; fall back to the full
+		// scan then, so ProcessView stays semantically identical to
+		// Process, which always scans the whole CAM.
+		for a := range v.CAM {
+			if (a < lo || a >= hi) && v.CAM[a].Valid && v.CAM[a].ModID == uint16(modIdx) {
+				ok = false
+				break
+			}
+		}
+	}
+	if !ok {
+		lo, hi = 0, len(v.CAM)
+	}
+	v.CamLo, v.CamHi = lo, hi
+	return v
+}
+
+// ProcessView is Process with the module's configuration pre-resolved
+// into v — the batched fast path. Semantics are identical to Process as
+// of the moment the View was taken.
+func (s *Stage) ProcessView(v *View, p *phv.PHV) (Result, error) {
+	var res Result
+	if !v.Active {
+		return res, nil
+	}
+	res.Active = true
+
+	key, err := v.Entry.ExtractKey(p)
+	if err != nil {
+		return res, err
+	}
+	if v.HasMask {
+		key = key.Masked(v.Mask)
+	}
+
+	var addr int
+	var hit bool
+	for a := v.CamLo; a < v.CamHi; a++ {
+		if v.CAM[a].Matches(key, p.ModuleID) {
+			addr, hit = a, true
+			break
+		}
+	}
+	if !hit {
+		return res, nil
+	}
+	res.Hit = true
+	res.ActionAddr = addr
+
+	action, slots, ok := s.Actions.Ref(addr)
+	if !ok {
+		return res, fmt.Errorf("%w: address %d", ErrNoAction, addr)
+	}
+	env := alu.Env{PHV: p, Memory: s.Memory, Segments: s.Segments, ModIdx: int(p.ModuleID)}
+	memOps, err := alu.ExecuteSlots(action, slots, &env)
 	res.MemOps = memOps
 	return res, err
 }

@@ -15,9 +15,11 @@
 package tables
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Geometry constants from Table 5.
@@ -68,12 +70,15 @@ func (k Key) WithPredicate(p bool) Key {
 // Predicate reports the 193rd key bit.
 func (k Key) Predicate() bool { return k[KeyBytes-1]&0x01 != 0 }
 
-// Masked returns k with every bit outside mask cleared.
+// Masked returns k with every bit outside mask cleared. The 25-byte key
+// is combined as three 8-byte words plus a tail byte so the per-packet
+// path stays branch-light.
 func (k Key) Masked(mask Key) Key {
 	var out Key
-	for i := range k {
-		out[i] = k[i] & mask[i]
-	}
+	binary.LittleEndian.PutUint64(out[0:], binary.LittleEndian.Uint64(k[0:])&binary.LittleEndian.Uint64(mask[0:]))
+	binary.LittleEndian.PutUint64(out[8:], binary.LittleEndian.Uint64(k[8:])&binary.LittleEndian.Uint64(mask[8:]))
+	binary.LittleEndian.PutUint64(out[16:], binary.LittleEndian.Uint64(k[16:])&binary.LittleEndian.Uint64(mask[16:]))
+	out[24] = k[24] & mask[24]
 	return out
 }
 
@@ -89,12 +94,15 @@ func FullMask() Key {
 // Overlay is a per-module configuration array: Menshen's core isolation
 // primitive for shared resources. Depth bounds the number of modules; an
 // entry must be explicitly valid to be used. Overlay is safe for one
-// writer (the daisy chain) concurrent with readers (packet processing);
-// Menshen's packet filter guarantees the module being rewritten has no
-// in-flight packets, and the lock preserves memory safety regardless.
+// writer (the daisy chain) concurrent with readers (packet processing):
+// writers install a fresh copy-on-write snapshot of the array, so the
+// per-packet read path is wait-free (one atomic load) — the software
+// analogue of the SRAM's single-cycle read port. Menshen's packet filter
+// additionally guarantees the module being rewritten has no in-flight
+// packets.
 type Overlay[T any] struct {
-	mu      sync.RWMutex
-	entries []overlayEntry[T]
+	mu      sync.Mutex // serializes writers
+	entries atomic.Pointer[[]overlayEntry[T]]
 }
 
 type overlayEntry[T any] struct {
@@ -105,55 +113,76 @@ type overlayEntry[T any] struct {
 // NewOverlay returns an overlay table with the given depth (use
 // OverlayDepth for the paper's geometry).
 func NewOverlay[T any](depth int) *Overlay[T] {
-	return &Overlay[T]{entries: make([]overlayEntry[T], depth)}
+	o := &Overlay[T]{}
+	entries := make([]overlayEntry[T], depth)
+	o.entries.Store(&entries)
+	return o
 }
 
 // Depth returns the number of entry slots.
-func (o *Overlay[T]) Depth() int { return len(o.entries) }
+func (o *Overlay[T]) Depth() int { return len(*o.entries.Load()) }
 
 // Lookup returns the configuration for the given module index.
 func (o *Overlay[T]) Lookup(idx int) (T, bool) {
-	var zero T
-	if idx < 0 || idx >= len(o.entries) {
+	entries := *o.entries.Load()
+	if idx < 0 || idx >= len(entries) {
+		var zero T
 		return zero, false
 	}
-	o.mu.RLock()
-	defer o.mu.RUnlock()
-	e := o.entries[idx]
+	e := &entries[idx]
 	if !e.valid {
+		var zero T
 		return zero, false
 	}
 	return e.val, true
 }
 
-// Set installs a configuration at the given module index.
-func (o *Overlay[T]) Set(idx int, v T) error {
-	if idx < 0 || idx >= len(o.entries) {
-		return fmt.Errorf("%w: overlay index %d (depth %d)", ErrIndexRange, idx, len(o.entries))
+// Ref returns a pointer to the entry's value inside the current
+// snapshot. Snapshots are immutable (writers publish fresh copies), so
+// the pointee never changes; callers must treat it as read-only. Used
+// by batched fast paths to skip copying wide entries per packet.
+func (o *Overlay[T]) Ref(idx int) (*T, bool) {
+	entries := *o.entries.Load()
+	if idx < 0 || idx >= len(entries) {
+		return nil, false
 	}
+	e := &entries[idx]
+	if !e.valid {
+		return nil, false
+	}
+	return &e.val, true
+}
+
+// mutate copies the current snapshot, applies f at idx, and publishes the
+// copy.
+func (o *Overlay[T]) mutate(idx int, e overlayEntry[T]) error {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	o.entries[idx] = overlayEntry[T]{valid: true, val: v}
+	cur := *o.entries.Load()
+	if idx < 0 || idx >= len(cur) {
+		return fmt.Errorf("%w: overlay index %d (depth %d)", ErrIndexRange, idx, len(cur))
+	}
+	next := make([]overlayEntry[T], len(cur))
+	copy(next, cur)
+	next[idx] = e
+	o.entries.Store(&next)
 	return nil
+}
+
+// Set installs a configuration at the given module index.
+func (o *Overlay[T]) Set(idx int, v T) error {
+	return o.mutate(idx, overlayEntry[T]{valid: true, val: v})
 }
 
 // Clear invalidates the entry at idx.
 func (o *Overlay[T]) Clear(idx int) error {
-	if idx < 0 || idx >= len(o.entries) {
-		return fmt.Errorf("%w: overlay index %d (depth %d)", ErrIndexRange, idx, len(o.entries))
-	}
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	o.entries[idx] = overlayEntry[T]{}
-	return nil
+	return o.mutate(idx, overlayEntry[T]{})
 }
 
 // ValidCount returns the number of installed entries.
 func (o *Overlay[T]) ValidCount() int {
-	o.mu.RLock()
-	defer o.mu.RUnlock()
 	n := 0
-	for _, e := range o.entries {
+	for _, e := range *o.entries.Load() {
 		if e.valid {
 			n++
 		}
@@ -173,17 +202,23 @@ type CAMEntry struct {
 	Mask Key
 }
 
-// Matches reports whether the entry matches the (key, modID) pair.
+// Matches reports whether the entry matches the (key, modID) pair. The
+// 205-bit compare runs as three 8-byte words plus a tail byte, the
+// software equivalent of the CAM's single-cycle parallel compare.
 func (e *CAMEntry) Matches(key Key, modID uint16) bool {
 	if !e.Valid || e.ModID != modID&MaxModuleID {
 		return false
 	}
-	for i := range key {
-		if (key[i]^e.Key[i])&e.Mask[i] != 0 {
-			return false
-		}
+	if (binary.LittleEndian.Uint64(key[0:])^binary.LittleEndian.Uint64(e.Key[0:]))&binary.LittleEndian.Uint64(e.Mask[0:]) != 0 {
+		return false
 	}
-	return true
+	if (binary.LittleEndian.Uint64(key[8:])^binary.LittleEndian.Uint64(e.Key[8:]))&binary.LittleEndian.Uint64(e.Mask[8:]) != 0 {
+		return false
+	}
+	if (binary.LittleEndian.Uint64(key[16:])^binary.LittleEndian.Uint64(e.Key[16:]))&binary.LittleEndian.Uint64(e.Mask[16:]) != 0 {
+		return false
+	}
+	return (key[24]^e.Key[24])&e.Mask[24] == 0
 }
 
 // CAM models the Xilinx CAM block used for the per-stage match table. The
@@ -191,9 +226,12 @@ func (e *CAMEntry) Matches(key Key, modID uint16) bool {
 // For ternary matches the lowest address wins (the priority convention of
 // the Xilinx IP, Appendix B). Addresses are allocated to modules in
 // contiguous chunks so one module's rule updates never disturb another's.
+// Like Overlay, the entry array is published as a copy-on-write snapshot
+// so per-packet lookups are wait-free while the daisy chain rewrites
+// entries.
 type CAM struct {
-	mu      sync.RWMutex
-	entries []CAMEntry
+	mu      sync.Mutex // serializes writers
+	entries atomic.Pointer[[]CAMEntry]
 	// partition[mod] is the half-open address range owned by module mod.
 	partition map[uint16][2]int
 }
@@ -201,21 +239,30 @@ type CAM struct {
 // NewCAM returns a CAM with the given depth (use CAMDepth for the paper's
 // per-stage geometry).
 func NewCAM(depth int) *CAM {
-	return &CAM{
-		entries:   make([]CAMEntry, depth),
-		partition: make(map[uint16][2]int),
-	}
+	c := &CAM{partition: make(map[uint16][2]int)}
+	entries := make([]CAMEntry, depth)
+	c.entries.Store(&entries)
+	return c
 }
 
 // Depth returns the number of entry addresses.
-func (c *CAM) Depth() int { return len(c.entries) }
+func (c *CAM) Depth() int { return len(*c.entries.Load()) }
+
+// cloneLocked returns a mutable copy of the current snapshot; the caller
+// must hold c.mu and publish the copy with c.entries.Store.
+func (c *CAM) cloneLocked() []CAMEntry {
+	cur := *c.entries.Load()
+	next := make([]CAMEntry, len(cur))
+	copy(next, cur)
+	return next
+}
 
 // Partition assigns the half-open address range [lo, hi) to module modID.
 // Ranges of distinct modules must not overlap; Partition enforces this so
 // that space partitioning of match entries is airtight.
 func (c *CAM) Partition(modID uint16, lo, hi int) error {
-	if lo < 0 || hi > len(c.entries) || lo > hi {
-		return fmt.Errorf("%w: CAM partition [%d,%d) depth %d", ErrIndexRange, lo, hi, len(c.entries))
+	if lo < 0 || hi > c.Depth() || lo > hi {
+		return fmt.Errorf("%w: CAM partition [%d,%d) depth %d", ErrIndexRange, lo, hi, c.Depth())
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -234,8 +281,8 @@ func (c *CAM) Partition(modID uint16, lo, hi int) error {
 
 // PartitionOf returns the address range owned by modID.
 func (c *CAM) PartitionOf(modID uint16) (lo, hi int, ok bool) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	r, ok := c.partition[modID]
 	return r[0], r[1], ok
 }
@@ -243,16 +290,18 @@ func (c *CAM) PartitionOf(modID uint16) (lo, hi int, ok bool) {
 // Write installs an entry at an absolute address. The address must lie in
 // the owning module's partition when one is configured.
 func (c *CAM) Write(addr int, e CAMEntry) error {
-	if addr < 0 || addr >= len(c.entries) {
-		return fmt.Errorf("%w: CAM address %d (depth %d)", ErrIndexRange, addr, len(c.entries))
-	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	next := c.cloneLocked()
+	if addr < 0 || addr >= len(next) {
+		return fmt.Errorf("%w: CAM address %d (depth %d)", ErrIndexRange, addr, len(next))
+	}
 	if r, ok := c.partition[e.ModID]; ok && e.Valid && (addr < r[0] || addr >= r[1]) {
 		return fmt.Errorf("%w: CAM address %d outside module %d partition [%d,%d)",
 			ErrIndexRange, addr, e.ModID, r[0], r[1])
 	}
-	c.entries[addr] = e
+	next[addr] = e
+	c.entries.Store(&next)
 	return nil
 }
 
@@ -262,27 +311,33 @@ func (c *CAM) Write(addr int, e CAMEntry) error {
 func (c *CAM) Insert(e CAMEntry) (int, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	lo, hi := 0, len(c.entries)
+	next := c.cloneLocked()
+	lo, hi := 0, len(next)
 	if r, ok := c.partition[e.ModID]; ok {
 		lo, hi = r[0], r[1]
 	}
 	for addr := lo; addr < hi; addr++ {
-		if !c.entries[addr].Valid {
+		if !next[addr].Valid {
 			e.Valid = true
-			c.entries[addr] = e
+			next[addr] = e
+			c.entries.Store(&next)
 			return addr, nil
 		}
 	}
 	return 0, fmt.Errorf("%w: module %d range [%d,%d)", ErrCAMFull, e.ModID, lo, hi)
 }
 
+// Entries returns the current entry snapshot for batched lookups. The
+// returned slice is immutable (writers publish fresh copies); callers
+// must not modify it.
+func (c *CAM) Entries() []CAMEntry { return *c.entries.Load() }
+
 // Lookup matches (key, modID) against the CAM and returns the lowest
 // matching address.
 func (c *CAM) Lookup(key Key, modID uint16) (int, bool) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	for addr := range c.entries {
-		if c.entries[addr].Matches(key, modID) {
+	entries := *c.entries.Load()
+	for addr := range entries {
+		if entries[addr].Matches(key, modID) {
 			return addr, true
 		}
 	}
@@ -294,34 +349,34 @@ func (c *CAM) Lookup(key Key, modID uint16) (int, bool) {
 func (c *CAM) ClearModule(modID uint16) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	next := c.cloneLocked()
 	n := 0
-	for i := range c.entries {
-		if c.entries[i].Valid && c.entries[i].ModID == modID {
-			c.entries[i] = CAMEntry{}
+	for i := range next {
+		if next[i].Valid && next[i].ModID == modID {
+			next[i] = CAMEntry{}
 			n++
 		}
 	}
+	c.entries.Store(&next)
 	return n
 }
 
 // Entry returns a copy of the entry at addr.
 func (c *CAM) Entry(addr int) (CAMEntry, error) {
-	if addr < 0 || addr >= len(c.entries) {
+	entries := *c.entries.Load()
+	if addr < 0 || addr >= len(entries) {
 		return CAMEntry{}, fmt.Errorf("%w: CAM address %d", ErrIndexRange, addr)
 	}
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.entries[addr], nil
+	return entries[addr], nil
 }
 
 // ValidCount returns the number of installed entries, optionally filtered
 // by module (pass modID < 0 for all modules).
 func (c *CAM) ValidCount(modID int) int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	entries := *c.entries.Load()
 	n := 0
-	for i := range c.entries {
-		e := &c.entries[i]
+	for i := range entries {
+		e := &entries[i]
 		if e.Valid && (modID < 0 || int(e.ModID) == modID) {
 			n++
 		}
@@ -379,15 +434,17 @@ func (s *SegmentTable) Depth() int { return s.overlay.Depth() }
 
 // StatefulMemory is a stage's persistent state RAM. All access is by
 // physical address; isolation comes from the SegmentTable in front of it.
+// Words are accessed with per-word atomics, mirroring the SRAM's
+// independent word ports: the packet path and the control plane's
+// counter reads never contend on a lock.
 type StatefulMemory struct {
-	mu    sync.RWMutex
-	words []uint64
+	words []atomic.Uint64
 }
 
 // NewStatefulMemory returns a memory with n words (use MemoryWords for the
 // paper's per-stage geometry).
 func NewStatefulMemory(n int) *StatefulMemory {
-	return &StatefulMemory{words: make([]uint64, n)}
+	return &StatefulMemory{words: make([]atomic.Uint64, n)}
 }
 
 // Size returns the number of words.
@@ -398,9 +455,7 @@ func (m *StatefulMemory) Load(phys uint64) (uint64, error) {
 	if phys >= uint64(len(m.words)) {
 		return 0, fmt.Errorf("%w: physical address %d (size %d)", ErrIndexRange, phys, len(m.words))
 	}
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return m.words[phys], nil
+	return m.words[phys].Load(), nil
 }
 
 // Store writes the word at phys.
@@ -408,9 +463,7 @@ func (m *StatefulMemory) Store(phys uint64, v uint64) error {
 	if phys >= uint64(len(m.words)) {
 		return fmt.Errorf("%w: physical address %d (size %d)", ErrIndexRange, phys, len(m.words))
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.words[phys] = v
+	m.words[phys].Store(v)
 	return nil
 }
 
@@ -420,10 +473,7 @@ func (m *StatefulMemory) LoadAddStore(phys uint64) (uint64, error) {
 	if phys >= uint64(len(m.words)) {
 		return 0, fmt.Errorf("%w: physical address %d (size %d)", ErrIndexRange, phys, len(m.words))
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.words[phys]++
-	return m.words[phys], nil
+	return m.words[phys].Add(1), nil
 }
 
 // ZeroRange clears words [base, base+n), used when a module is unloaded so
@@ -432,19 +482,17 @@ func (m *StatefulMemory) ZeroRange(base, n uint64) error {
 	if base+n > uint64(len(m.words)) {
 		return fmt.Errorf("%w: zero range [%d,%d) size %d", ErrIndexRange, base, base+n, len(m.words))
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	for i := base; i < base+n; i++ {
-		m.words[i] = 0
+		m.words[i].Store(0)
 	}
 	return nil
 }
 
 // Snapshot returns a copy of all words (for tests and stats).
 func (m *StatefulMemory) Snapshot() []uint64 {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
 	out := make([]uint64, len(m.words))
-	copy(out, m.words)
+	for i := range m.words {
+		out[i] = m.words[i].Load()
+	}
 	return out
 }

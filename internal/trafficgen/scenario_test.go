@@ -1,0 +1,73 @@
+package trafficgen
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+func frameVLAN(t *testing.T, f []byte) uint16 {
+	t.Helper()
+	if len(f) < 16 || binary.BigEndian.Uint16(f[12:]) != 0x8100 {
+		t.Fatalf("frame not VLAN-tagged")
+	}
+	return binary.BigEndian.Uint16(f[14:]) & 0x0fff
+}
+
+func TestScenarioWeightedInterleave(t *testing.T) {
+	sc := NewScenario(1,
+		TenantLoad{ModuleID: 1, Program: "CALC", Weight: 1},
+		TenantLoad{ModuleID: 2, Program: "NetCache", Weight: 3},
+	)
+	counts := map[uint16]int{}
+	var batch [][]byte
+	for i := 0; i < 10; i++ {
+		batch = sc.NextBatch(batch[:0], 40)
+		if len(batch) != 40 {
+			t.Fatalf("NextBatch returned %d frames, want 40", len(batch))
+		}
+		for _, f := range batch {
+			counts[frameVLAN(t, f)]++
+		}
+	}
+	if sc.Total() != 400 {
+		t.Fatalf("Total = %d, want 400", sc.Total())
+	}
+	if counts[1] != 100 || counts[2] != 300 {
+		t.Fatalf("weighted shares = %d:%d, want 100:300", counts[1], counts[2])
+	}
+}
+
+func TestScenarioDeterministic(t *testing.T) {
+	a := NewScenario(42, TenantLoad{ModuleID: 1, Program: "CALC"})
+	b := NewScenario(42, TenantLoad{ModuleID: 1, Program: "CALC"})
+	fa := a.NextBatch(nil, 64)
+	fb := b.NextBatch(nil, 64)
+	for i := range fa {
+		if string(fa[i]) != string(fb[i]) {
+			t.Fatalf("frame %d differs between same-seed scenarios", i)
+		}
+	}
+}
+
+func TestScenarioFlowDiversity(t *testing.T) {
+	sc := NewScenario(7, TenantLoad{ModuleID: 1, Program: "CALC", Flows: 8})
+	frames := sc.NextBatch(nil, 64)
+	ports := map[uint16]bool{}
+	for _, f := range frames {
+		const off = 14 + 4 + 20
+		ports[binary.BigEndian.Uint16(f[off:])] = true
+	}
+	if len(ports) != 8 {
+		t.Fatalf("distinct source ports = %d, want 8", len(ports))
+	}
+}
+
+func TestDefaultGenFrameSizes(t *testing.T) {
+	for _, prog := range []string{"CALC", "NetCache", "NetChain", "Source Routing", "Firewall"} {
+		gen := DefaultGen(prog, 1, 256, 4, NewPRNG(1))
+		f := gen(0)
+		if len(f) != 256 {
+			t.Errorf("%s: frame size %d, want 256", prog, len(f))
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package menshen
+
+// Engine facade: the concurrent batched dataplane over a Device. Where
+// Device.Send pushes one frame synchronously, an Engine shards the
+// loaded module set across N worker pipelines, steers flows to shards
+// RSS-style, and moves frames in batches with per-tenant queueing and
+// rate enforcement — the path to the paper's 100 Gbit/s-class operating
+// point in software:
+//
+//	dev := menshen.NewDevice()
+//	dev.LoadModule(src, 1)
+//	eng, err := dev.NewEngine(menshen.EngineConfig{Workers: 4})
+//	eng.SubmitBatch(frames)
+//	eng.Drain()
+//	st := eng.Stats()
+//	eng.Close()
+
+import (
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// EngineResult is the per-frame outcome delivered to OnBatch. Data
+// buffers are recycled after the callback returns.
+type EngineResult = core.BatchResult
+
+// EngineStats is a telemetry snapshot; see Engine.Stats.
+type EngineStats = engine.Stats
+
+// EngineConfig configures Device.NewEngine.
+type EngineConfig struct {
+	// Workers is the number of pipeline shards (default 4).
+	Workers int
+	// QueueDepth bounds each per-tenant per-worker RX ring (default 1024).
+	QueueDepth int
+	// BatchSize is the frames per pipeline batch (default 32).
+	BatchSize int
+	// DropOnFull tail-drops at full rings instead of blocking the
+	// submitter.
+	DropOnFull bool
+	// OnBatch, when set, observes every processed batch on the worker
+	// goroutine; results are valid only during the callback.
+	OnBatch func(workerID int, tenant uint16, results []EngineResult)
+}
+
+// Engine is a running concurrent dataplane created by Device.NewEngine.
+type Engine struct {
+	eng *engine.Engine
+}
+
+// NewEngine snapshots the device's loaded modules into a concurrent
+// batched engine: every worker shard replays the modules' configuration
+// into its own pipeline replica (same geometry, same platform options,
+// same placements). Modules loaded or updated on the Device afterwards
+// are not reflected in a running engine — create the engine after
+// loading, or create a fresh one after reconfiguration.
+func (d *Device) NewEngine(cfg EngineConfig) (*Engine, error) {
+	specs := make([]engine.ModuleSpec, 0, len(d.modules))
+	for _, id := range d.alloc.Loaded() {
+		m := d.modules[id]
+		specs = append(specs, engine.ModuleSpec{Config: m.program.Config, Placement: m.placement})
+	}
+	e, err := engine.New(engine.Config{
+		Workers:    cfg.Workers,
+		QueueDepth: cfg.QueueDepth,
+		BatchSize:  cfg.BatchSize,
+		DropOnFull: cfg.DropOnFull,
+		Geometry:   d.pipe.Geometry,
+		Options:    d.pipe.Options,
+		Modules:    specs,
+		OnBatch:    cfg.OnBatch,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{eng: e}, nil
+}
+
+// Workers returns the number of pipeline shards.
+func (e *Engine) Workers() int { return e.eng.Workers() }
+
+// Submit steers one frame to its shard; it reports false when the frame
+// was rate-limited or tail-dropped. The engine owns the buffer until
+// the frame's batch completes.
+func (e *Engine) Submit(frame []byte) (bool, error) { return e.eng.Submit(frame) }
+
+// SubmitBatch steers and enqueues a batch of frames, returning how many
+// were accepted. Safe for concurrent producers.
+func (e *Engine) SubmitBatch(frames [][]byte) (int, error) { return e.eng.SubmitBatch(frames) }
+
+// Drain blocks until all queued frames are processed.
+func (e *Engine) Drain() { e.eng.Drain() }
+
+// Close drains and stops the engine; later submissions return an error.
+func (e *Engine) Close() error { return e.eng.Close() }
+
+// Stats snapshots per-tenant and per-worker telemetry.
+func (e *Engine) Stats() EngineStats { return e.eng.Stats() }
+
+// SetTenantLimit installs a per-tenant token-bucket allowance (packets
+// and bits per second; zero disables a dimension) enforced at submit.
+func (e *Engine) SetTenantLimit(tenant uint16, pps, bps float64) {
+	e.eng.SetTenantLimit(tenant, pps, bps)
+}
+
+// ClearTenantLimit removes a tenant's allowance.
+func (e *Engine) ClearTenantLimit(tenant uint16) { e.eng.ClearTenantLimit(tenant) }
+
+// ShardPipeline exposes one worker shard's pipeline for tests and
+// advanced inspection of per-shard state.
+func (e *Engine) ShardPipeline(workerID int) (*core.Pipeline, error) {
+	return e.eng.Pipeline(workerID)
+}
