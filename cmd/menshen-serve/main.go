@@ -9,6 +9,7 @@
 //	menshen-serve                                  # CALC+Firewall+NetCache, 4 workers
 //	menshen-serve -modules CALC,NetCache -workers 8 -batch 64 -packets 2000000
 //	menshen-serve -rate-pps 500000                 # police each tenant at 500 kpps
+//	menshen-serve -live-reconfig 8                 # reload the last tenant 8x mid-run
 package main
 
 import (
@@ -36,6 +37,8 @@ func main() {
 	rateBPS := flag.Float64("rate-bps", 0, "per-tenant bit rate limit (0 = unlimited)")
 	drop := flag.Bool("drop", false, "tail-drop at full rings instead of blocking the generator")
 	seed := flag.Uint64("seed", 42, "workload PRNG seed")
+	liveReconfig := flag.Int("live-reconfig", 0,
+		"live unload+reload the last tenant this many times mid-run, while other tenants keep flowing")
 	flag.Parse()
 
 	var kind menshen.PlatformKind
@@ -55,6 +58,7 @@ func main() {
 
 	names := strings.Split(*modules, ",")
 	loads := make([]trafficgen.TenantLoad, 0, len(names))
+	sources := make([]string, 0, len(names))
 	for i, name := range names {
 		name = strings.TrimSpace(name)
 		p, err := p4progs.ByName(name)
@@ -74,6 +78,7 @@ func main() {
 			FrameBytes: *size,
 			Flows:      *flows,
 		})
+		sources = append(sources, p.Source())
 	}
 
 	eng, err := dev.NewEngine(menshen.EngineConfig{
@@ -93,6 +98,24 @@ func main() {
 
 	fmt.Printf("engine: %d workers, batch %d, queue %d\n", eng.Workers(), *batch, *queue)
 
+	// The mid-run reconfiguration scenario: at -live-reconfig evenly
+	// spaced points in the stream, unload the last tenant from the
+	// running shards and replay its full command stream back in, while
+	// every other tenant's traffic keeps flowing. The tenant's own
+	// frames submitted during the gap drop as "no module loaded" —
+	// reported per tenant below.
+	reconfigAt := -1
+	if *liveReconfig > 0 {
+		reconfigAt = *packets / (*liveReconfig + 1)
+		if reconfigAt == 0 {
+			reconfigAt = 1 // more reloads than packets: one per frame
+		}
+	}
+	reconfigID := loads[len(loads)-1].ModuleID
+	reconfigSrc := sources[len(sources)-1]
+	reconfigsDone := 0
+	var lastGen uint64
+
 	sc := trafficgen.NewScenario(*seed, loads...)
 	var frames [][]byte
 	start := time.Now()
@@ -106,10 +129,54 @@ func main() {
 			fatal(err)
 		}
 		sent += n
+		for reconfigAt > 0 && reconfigsDone < *liveReconfig && sent >= (reconfigsDone+1)*reconfigAt {
+			if _, err := eng.UnloadModule(reconfigID); err != nil {
+				fatal(fmt.Errorf("live unload tenant %d: %w", reconfigID, err))
+			}
+			_, gen, err := eng.LoadModule(reconfigSrc, reconfigID)
+			if err != nil {
+				fatal(fmt.Errorf("live reload tenant %d: %w", reconfigID, err))
+			}
+			lastGen = gen
+			reconfigsDone++
+		}
 	}
 	eng.Drain()
+	if lastGen > 0 {
+		if err := eng.AwaitQuiesce(lastGen); err != nil {
+			fatal(err)
+		}
+	}
 	wall := time.Since(start)
 	st := eng.Stats()
+
+	if reconfigsDone > 0 {
+		fmt.Printf("\n--- live reconfiguration ---\n")
+		fmt.Printf("tenant %d reloaded %d times mid-run: %d generations issued, %d commands applied, %d failed\n",
+			reconfigID, reconfigsDone, st.ReconfigIssued, st.ReconfigApplied, st.ReconfigFailed)
+		allEqual := true
+		var sum uint64
+		for w := 0; w < eng.Workers(); w++ {
+			pipe, err := eng.ShardPipeline(w)
+			if err != nil {
+				fatal(err)
+			}
+			cs := pipe.ModuleChecksum(reconfigID)
+			if w == 0 {
+				sum = cs
+			} else if cs != sum {
+				allEqual = false
+			}
+			fmt.Printf("worker %2d: generation %d, config checksum %#016x\n",
+				w, st.Workers[w].ReconfigGen, cs)
+		}
+		if allEqual {
+			fmt.Printf("all %d shard replicas hold identical configuration after quiesce\n", eng.Workers())
+		} else {
+			fmt.Printf("WARNING: shard replicas diverge after quiesce\n")
+		}
+	}
+
 	if err := eng.Close(); err != nil {
 		fatal(err)
 	}

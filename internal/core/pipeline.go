@@ -13,6 +13,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"sync"
 	"sync/atomic"
 
@@ -377,6 +378,76 @@ func (p *Pipeline) ProcessBatch(frames [][]byte, ingressPort uint8, res []BatchR
 // configuration. Every command-path write calls it; it is exported for
 // callers that mutate stage tables directly.
 func (p *Pipeline) InvalidateBatchViews() { p.cfgGen.Add(1) }
+
+// ConfigGen returns the pipeline's configuration generation: a counter
+// that every configuration write path (Apply, Partition, UnloadModule,
+// InvalidateBatchViews) bumps. A shard replica whose generation is
+// unchanged is guaranteed to serve batches from the same cached views.
+func (p *Pipeline) ConfigGen() uint64 { return p.cfgGen.Load() }
+
+// ModuleChecksum hashes every piece of configuration one module owns in
+// this pipeline: parser and deparser entries, per-stage key extractors,
+// key masks, stateful-memory segments, CAM partitions and entries, and
+// the VLIW actions behind the module's CAM addresses. Two pipeline
+// replicas configured by the same reconfiguration command stream have
+// equal checksums; a torn or partially applied configuration does not.
+// Stateful memory contents are deliberately excluded (per-flow state is
+// sharded and legitimately diverges between replicas). Call it at a
+// quiesce point: concurrent reconfiguration yields an unspecified (but
+// crash-free) result.
+func (p *Pipeline) ModuleChecksum(moduleID uint16) uint64 {
+	h := fnv.New64a()
+	u64 := func(v uint64) {
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	u64(uint64(moduleID))
+	idx := int(moduleID)
+	if e, ok := p.Parser.Table().Lookup(idx); ok {
+		h.Write([]byte{'P'})
+		h.Write(e.Encode())
+	}
+	if e, ok := p.Deparser.Table().Lookup(idx); ok {
+		h.Write([]byte{'D'})
+		h.Write(e.Encode())
+	}
+	for s, st := range p.Stages {
+		u64(uint64(s))
+		if e, ok := st.Extract.Lookup(idx); ok {
+			h.Write([]byte{'E'})
+			u64(e.Encode())
+		}
+		if m, ok := st.Mask.Lookup(idx); ok {
+			h.Write([]byte{'M'})
+			h.Write(m[:])
+		}
+		if seg, ok := st.Segments.Lookup(idx); ok {
+			h.Write([]byte{'S', seg.Base, seg.Range})
+		}
+		if lo, hi, ok := st.Match.PartitionOf(moduleID); ok {
+			h.Write([]byte{'R'})
+			u64(uint64(lo))
+			u64(uint64(hi))
+		}
+		entries := st.Match.Entries()
+		for addr := range entries {
+			e := &entries[addr]
+			if !e.Valid || e.ModID != moduleID {
+				continue
+			}
+			h.Write([]byte{'C'})
+			u64(uint64(addr))
+			h.Write(e.Key[:])
+			h.Write(e.Mask[:])
+			if a, ok := p.Stages[s].Actions.Lookup(addr); ok {
+				h.Write([]byte{'A'})
+				h.Write(a.Encode())
+			}
+		}
+	}
+	return h.Sum64()
+}
 
 // processBatchFrame is processLocked minus the allocations: no Output,
 // no StageResults, no PHV copy-out, and the deparse buffer is recycled

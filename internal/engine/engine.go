@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ctrlplane"
+	"repro/internal/reconfig"
 	"repro/internal/sched"
 )
 
@@ -92,8 +93,9 @@ type Engine struct {
 	tel     *telemetry
 	limiter *sched.RateLimiter
 	start   time.Time
+	ctrl    control // live-reconfiguration control plane (reconfig.go)
 
-	mu      sync.Mutex // guards lifecycle state
+	mu      sync.Mutex // guards lifecycle state and control-op fan-out
 	closed  bool
 	scratch sync.Pool // *submitScratch
 }
@@ -122,6 +124,7 @@ func New(cfg Config) (*Engine, error) {
 		limiter: sched.NewRateLimiter(),
 		start:   time.Now(),
 	}
+	e.ctrl.qcond = sync.NewCond(&e.ctrl.qmu)
 	for i := 0; i < cfg.Workers; i++ {
 		pipe := core.New(cfg.Geometry, cfg.Options)
 		client := ctrlplane.New(pipe)
@@ -157,7 +160,9 @@ func (e *Engine) ClearTenantLimit(tenant uint16) { e.limiter.ClearLimit(tenant) 
 // it was rate-limited or tail-dropped (counted in Stats), or the engine
 // is closed (ErrClosed). With DropOnFull unset Submit blocks while the
 // tenant's ring is full. The engine takes ownership of the frame buffer
-// until its batch completes.
+// until its batch completes. A well-formed reconfiguration frame (UDP
+// port 0xf1f2, Figure 7) is diverted to the live-reconfiguration
+// control plane instead of the data path; see ApplyReconfigFrame.
 func (e *Engine) Submit(frame []byte) (bool, error) {
 	n, err := e.SubmitBatch([][]byte{frame})
 	return n == 1, err
@@ -191,13 +196,26 @@ func (e *Engine) SubmitBatch(frames [][]byte) (int, error) {
 	sc := e.getScratch()
 	var tc *tenantCounters
 	lastTenant := -1
-	run := uint64(0) // Submitted frames of the current tenant run
+	ctrlAccepted := 0 // reconfiguration frames accepted off the data path
+	run := uint64(0)  // Submitted frames of the current tenant run
 	hasLimits := e.tel.hasLimits.Load()
 	var now float64
 	if hasLimits {
 		now = time.Since(e.start).Seconds() // one clock read per call, not per frame
 	}
 	for _, f := range frames {
+		if reconfig.IsReconfigFrame(f) {
+			// Trusted control path: a well-formed reconfiguration frame
+			// submitted in-process is fanned out to every shard's
+			// control queue (the PCIe analogue). A malformed one falls
+			// through to the data path, where each shard's packet
+			// filter drops it (§3.1 secure reconfiguration).
+			if _, err := e.ApplyReconfigFrame(f); err == nil {
+				e.tel.reconfigFrames.Add(1)
+				ctrlAccepted++
+				continue
+			}
+		}
 		wid, tenant := steer(f, len(e.workers))
 		if int(tenant) != lastTenant {
 			if run > 0 {
@@ -218,7 +236,7 @@ func (e *Engine) SubmitBatch(frames [][]byte) (int, error) {
 	if run > 0 {
 		tc.Submitted.Add(run)
 	}
-	accepted := 0
+	accepted := ctrlAccepted
 	for wid := range sc.frames {
 		if len(sc.frames[wid]) == 0 {
 			continue
@@ -256,6 +274,7 @@ func (e *Engine) Close() error {
 	for _, w := range e.workers {
 		<-w.done
 	}
+	e.noteWorkersDone()
 	return nil
 }
 
@@ -267,7 +286,11 @@ func (e *Engine) isClosed() bool {
 
 // Stats snapshots the engine's telemetry.
 func (e *Engine) Stats() Stats {
-	return e.tel.snapshot(e.workers, time.Since(e.start))
+	st := e.tel.snapshot(e.workers, time.Since(e.start))
+	st.ReconfigIssued = e.ctrl.tagger.Current()
+	st.ReconfigFrames = e.tel.reconfigFrames.Load()
+	st.Updating = e.ctrl.updating.Load()
+	return st
 }
 
 // Pipeline exposes a worker shard's pipeline (for tests and advanced

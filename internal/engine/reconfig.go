@@ -1,0 +1,335 @@
+// Engine-level control plane: live reconfiguration of running worker
+// shards. Where engine creation replays a module set into each replica
+// once, this path replays daisy-chain command streams into every
+// *running* shard — the paper's headline scenario of reconfiguring one
+// tenant while the pipeline carries other tenants' traffic.
+//
+// Mechanism: every control operation (a command batch, a module load or
+// unload, a tenant fence) is tagged with a monotonically increasing
+// generation (reconfig.Tagger) and appended, in issue order, to a
+// per-shard operation queue. Each worker drains its queue at batch
+// boundaries — between two ProcessBatch calls — so a shard never
+// observes a half-applied operation mid-batch, and applies operations
+// in exactly the order they were issued. A worker that has applied
+// generation g has applied every operation tagged ≤ g; AwaitQuiesce(g)
+// blocks until all shards reach g, which is the engine-wide barrier the
+// tests and the serve CLI assert on.
+//
+// Fencing: a tenant whose configuration spans multiple control calls
+// can be paused — its queued frames are held (not dropped) and its
+// rings are skipped by the round-robin service — so no frame of that
+// tenant is processed against a partially updated configuration, while
+// every other tenant keeps flowing. This is the queue-level analogue of
+// the packet filter's per-module update bitmap (§4.1), which remains
+// available per shard via SetTenantUpdating for the paper's
+// drop-during-update semantics.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/reconfig"
+)
+
+// ErrGenNotIssued is returned by AwaitQuiesce for a generation no
+// control operation has been tagged with yet.
+var ErrGenNotIssued = errors.New("engine: reconfiguration generation not issued")
+
+// opKind enumerates the shard-level control operations.
+type opKind uint8
+
+const (
+	// opApply applies one reconfiguration command to the shard pipeline.
+	opApply opKind = iota
+	// opPartition reserves a module's CAM address ranges.
+	opPartition
+	// opUnload clears a module from the shard pipeline.
+	opUnload
+	// opPause fences a tenant: queued frames are held, the tenant's
+	// rings are skipped, other tenants keep flowing.
+	opPause
+	// opResume lifts a tenant's fence.
+	opResume
+	// opUpdating sets or clears the shard packet filter's update bit for
+	// a tenant (the §4.1 drop-during-update semantics).
+	opUpdating
+	// opBarrier does nothing except advance the shard's applied
+	// generation (an empty operation still quiesces).
+	opBarrier
+)
+
+// shardOp is one queued control operation for one worker shard.
+type shardOp struct {
+	gen    uint64
+	kind   opKind
+	tenant uint16
+	flag   bool // opUpdating: set (true) or clear (false)
+	cmd    reconfig.Command
+	spec   *ModuleSpec // opPartition (read-only, shared across shards)
+}
+
+// control is the engine-wide reconfiguration state.
+type control struct {
+	tagger reconfig.Tagger
+	// updating is the engine-level per-tenant update bitmap: bit
+	// (tenant & 31) is set while the tenant is fenced by a
+	// BeginTenantUpdate / EndTenantUpdate window.
+	updating atomic.Uint32
+
+	// qmu/qcond implement AwaitQuiesce: workers broadcast after
+	// advancing their applied generation; Close broadcasts once all
+	// workers have exited.
+	qmu   sync.Mutex
+	qcond *sync.Cond
+	done  bool // all workers exited
+}
+
+// issue tags one operation sequence with a fresh generation and fans it
+// out to every worker's queue. The engine lifecycle lock makes the
+// fan-out atomic with respect to Close: an issued generation is always
+// applied by every worker before it exits.
+func (e *Engine) issue(build func(gen uint64) []shardOp) (uint64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return 0, ErrClosed
+	}
+	gen := e.ctrl.tagger.Next()
+	ops := build(gen)
+	if len(ops) == 0 {
+		ops = []shardOp{{gen: gen, kind: opBarrier}}
+	}
+	for _, w := range e.workers {
+		w.enqueueOps(ops)
+	}
+	return gen, nil
+}
+
+// ApplyReconfig replays a daisy-chain command batch into every running
+// worker shard. It returns immediately with the operation's generation;
+// each shard applies the commands, in order and atomically with respect
+// to its own batches, at its next batch boundary. Use AwaitQuiesce to
+// wait for every shard. Frames already queued when the commands are
+// issued may be processed against the old configuration (the commands
+// overtake them at the batch boundary); fence the tenant first if that
+// matters.
+func (e *Engine) ApplyReconfig(moduleID uint16, cmds ...reconfig.Command) (uint64, error) {
+	return e.issue(func(gen uint64) []shardOp {
+		ops := make([]shardOp, 0, len(cmds))
+		for _, c := range cmds {
+			ops = append(ops, shardOp{gen: gen, kind: opApply, tenant: moduleID, cmd: c})
+		}
+		return ops
+	})
+}
+
+// ApplyReconfigFrame decodes one raw reconfiguration frame (Figure 7
+// wire format) and fans its command out to every shard. This is the
+// engine's trusted control interface — the software analogue of the
+// PCIe path reconfiguration packets arrive on; reconfiguration-port
+// frames arriving through the data path of each shard pipeline are
+// still dropped by its packet filter.
+func (e *Engine) ApplyReconfigFrame(frame []byte) (uint64, error) {
+	moduleID, cmd, err := reconfig.DecodePacket(frame)
+	if err != nil {
+		return 0, err
+	}
+	// The decoded payload aliases the caller's frame buffer, but shards
+	// read it later, at their own batch boundaries — copy it so the
+	// caller gets its buffer back when this returns, like any other
+	// control call.
+	cmd.Payload = append([]byte(nil), cmd.Payload...)
+	return e.ApplyReconfig(moduleID, cmd)
+}
+
+// LoadModuleLive installs a module into every running shard: one fenced
+// operation covering the tenant pause, the CAM partition reservation,
+// the full §4.1 command stream, and the resume. Shards apply the whole
+// sequence at a batch boundary, so no frame of the module is ever
+// processed against a partial configuration; other tenants' frames keep
+// flowing throughout.
+func (e *Engine) LoadModuleLive(spec ModuleSpec) (uint64, error) {
+	cmds, err := spec.Config.Commands(spec.Placement)
+	if err != nil {
+		return 0, err
+	}
+	id := spec.Config.ModuleID
+	sp := &spec
+	return e.issue(func(gen uint64) []shardOp {
+		ops := make([]shardOp, 0, len(cmds)+3)
+		ops = append(ops,
+			shardOp{gen: gen, kind: opPause, tenant: id},
+			shardOp{gen: gen, kind: opPartition, tenant: id, spec: sp})
+		for _, c := range cmds {
+			ops = append(ops, shardOp{gen: gen, kind: opApply, tenant: id, cmd: c})
+		}
+		return append(ops, shardOp{gen: gen, kind: opResume, tenant: id})
+	})
+}
+
+// UnloadModuleLive clears a module from every running shard (tables,
+// parser/deparser entries, and stateful segments zeroed), fenced the
+// same way as LoadModuleLive.
+func (e *Engine) UnloadModuleLive(moduleID uint16) (uint64, error) {
+	return e.issue(func(gen uint64) []shardOp {
+		return []shardOp{
+			{gen: gen, kind: opPause, tenant: moduleID},
+			{gen: gen, kind: opUnload, tenant: moduleID},
+			{gen: gen, kind: opResume, tenant: moduleID},
+		}
+	})
+}
+
+// BeginTenantUpdate fences a tenant across every shard: once the
+// returned generation quiesces, no frame of the tenant is processed
+// until EndTenantUpdate, while submissions keep queueing (subject to
+// ring backpressure) and every other tenant keeps flowing. Use it to
+// make a multi-call reconfiguration sequence atomic with respect to the
+// tenant's traffic. Note that Drain blocks on fenced frames, so end the
+// update before draining.
+func (e *Engine) BeginTenantUpdate(tenant uint16) (uint64, error) {
+	gen, err := e.issue(func(gen uint64) []shardOp {
+		return []shardOp{{gen: gen, kind: opPause, tenant: tenant}}
+	})
+	if err == nil {
+		e.ctrl.updating.Or(1 << (tenant & 31))
+	}
+	return gen, err
+}
+
+// EndTenantUpdate lifts a tenant's fence; held frames become
+// serviceable again at each shard's next batch boundary.
+func (e *Engine) EndTenantUpdate(tenant uint16) (uint64, error) {
+	gen, err := e.issue(func(gen uint64) []shardOp {
+		return []shardOp{{gen: gen, kind: opResume, tenant: tenant}}
+	})
+	if err == nil {
+		e.ctrl.updating.And(^(uint32(1) << (tenant & 31)))
+	}
+	return gen, err
+}
+
+// SetTenantUpdating sets or clears the packet filter update bit for a
+// tenant on every shard — the paper's drop-during-update semantics
+// (frames of the tenant are discarded, not held, while the bit is set).
+func (e *Engine) SetTenantUpdating(tenant uint16, updating bool) (uint64, error) {
+	return e.issue(func(gen uint64) []shardOp {
+		return []shardOp{{gen: gen, kind: opUpdating, tenant: tenant, flag: updating}}
+	})
+}
+
+// Quiesce issues an empty barrier operation and waits until every shard
+// has applied it (and therefore everything issued before it).
+func (e *Engine) Quiesce() error {
+	gen, err := e.issue(func(gen uint64) []shardOp { return nil })
+	if err != nil {
+		return err
+	}
+	return e.AwaitQuiesce(gen)
+}
+
+// ReconfigGen returns the most recently issued generation.
+func (e *Engine) ReconfigGen() uint64 { return e.ctrl.tagger.Current() }
+
+// AwaitQuiesce blocks until every worker shard has applied the given
+// generation — i.e. every control operation issued up to and including
+// it has reached every replica. It returns ErrGenNotIssued for a
+// generation beyond the last issued one, and ErrClosed if the engine
+// closed before the generation was reached (generations issued before
+// Close always complete: workers drain their operation queues before
+// exiting).
+func (e *Engine) AwaitQuiesce(gen uint64) error {
+	if gen > e.ctrl.tagger.Current() {
+		return fmt.Errorf("%w: %d (last issued %d)", ErrGenNotIssued, gen, e.ctrl.tagger.Current())
+	}
+	c := &e.ctrl
+	c.qmu.Lock()
+	defer c.qmu.Unlock()
+	for e.minAppliedGen() < gen {
+		if c.done {
+			return ErrClosed
+		}
+		c.qcond.Wait()
+	}
+	return nil
+}
+
+// minAppliedGen is the slowest shard's applied generation.
+func (e *Engine) minAppliedGen() uint64 {
+	min := e.workers[0].genApplied.Load()
+	for _, w := range e.workers[1:] {
+		if g := w.genApplied.Load(); g < min {
+			min = g
+		}
+	}
+	return min
+}
+
+// noteApplied records a worker's progress and wakes quiesce waiters.
+func (e *Engine) noteApplied(w *worker, gen uint64) {
+	w.genApplied.Store(gen)
+	e.ctrl.qmu.Lock()
+	e.ctrl.qcond.Broadcast()
+	e.ctrl.qmu.Unlock()
+}
+
+// noteWorkersDone unblocks quiesce waiters after the last worker exits.
+func (e *Engine) noteWorkersDone() {
+	e.ctrl.qmu.Lock()
+	e.ctrl.done = true
+	e.ctrl.qcond.Broadcast()
+	e.ctrl.qmu.Unlock()
+}
+
+// enqueueOps appends control operations to this worker's queue and
+// wakes the worker loop.
+func (w *worker) enqueueOps(ops []shardOp) {
+	w.mu.Lock()
+	w.ops = append(w.ops, ops...)
+	w.mu.Unlock()
+	w.notEmpty.Signal()
+}
+
+// drainOpsLocked applies queued control operations in issue order. The
+// caller holds w.mu (the worker loop, at a batch boundary), so fence
+// accounting is atomic with enqueues; pipeline writes use the tables'
+// own copy-on-write synchronization.
+func (w *worker) drainOpsLocked(ops []shardOp) {
+	for i := range ops {
+		op := &ops[i]
+		var err error
+		switch op.kind {
+		case opApply:
+			if err = w.pipe.Apply(op.cmd); err == nil {
+				w.stats.ReconfigApplied.Add(1)
+			}
+		case opPartition:
+			err = w.pipe.Partition(op.spec.Config, op.spec.Placement)
+		case opUnload:
+			err = w.pipe.UnloadModule(op.tenant)
+		case opPause:
+			if !w.paused[op.tenant] {
+				w.paused[op.tenant] = true
+				if q := w.queues[op.tenant]; q != nil {
+					w.pausedPending += q.count
+				}
+			}
+		case opResume:
+			if w.paused[op.tenant] {
+				delete(w.paused, op.tenant)
+				if q := w.queues[op.tenant]; q != nil {
+					w.pausedPending -= q.count
+				}
+			}
+		case opUpdating:
+			w.pipe.Filter.SetUpdating(op.tenant, op.flag)
+		case opBarrier:
+		}
+		if err != nil {
+			w.stats.ReconfigFailed.Add(1)
+		}
+	}
+}

@@ -29,7 +29,12 @@ type workerCounters struct {
 	Frames  atomic.Uint64
 	Sampled atomic.Uint64
 	BusyNs  atomic.Uint64
-	latency latHist
+	// ReconfigApplied counts reconfiguration commands this shard
+	// applied cleanly; ReconfigFailed counts control operations that
+	// returned an error (malformed command, bad placement, ...).
+	ReconfigApplied atomic.Uint64
+	ReconfigFailed  atomic.Uint64
+	latency         latHist
 }
 
 // latHist is a log2-bucketed latency histogram: bucket i counts
@@ -83,6 +88,9 @@ type telemetry struct {
 	// hasLimits short-circuits the rate-limiter (and its clock read) on
 	// the submit fast path until the first SetTenantLimit call.
 	hasLimits atomic.Bool
+	// reconfigFrames counts raw reconfiguration frames accepted off the
+	// submit path and diverted to the control plane.
+	reconfigFrames atomic.Uint64
 }
 
 func newTelemetry() *telemetry {
@@ -130,6 +138,14 @@ type WorkerStats struct {
 	// time distribution (log-bucket midpoints).
 	P50BatchLatency time.Duration
 	P99BatchLatency time.Duration
+	// ReconfigGen is the shard's applied reconfiguration generation;
+	// when it equals Stats.ReconfigIssued the shard has applied every
+	// control operation issued so far.
+	ReconfigGen uint64
+	// ReconfigApplied / ReconfigFailed count this shard's cleanly
+	// applied reconfiguration commands and failed control operations.
+	ReconfigApplied uint64
+	ReconfigFailed  uint64
 }
 
 // AvgBatch is the mean frames per batch.
@@ -148,6 +164,18 @@ type Stats struct {
 	Workers []WorkerStats
 	// Uptime is the time since the engine started.
 	Uptime time.Duration
+
+	// ReconfigIssued is the latest control-plane generation issued;
+	// ReconfigApplied / ReconfigFailed sum the per-shard command
+	// counters; ReconfigFrames counts raw reconfiguration frames
+	// accepted via Submit. Updating is the engine-level per-tenant
+	// update bitmap (bit tenant&31 set while the tenant is fenced by a
+	// Begin/EndTenantUpdate window).
+	ReconfigIssued  uint64
+	ReconfigApplied uint64
+	ReconfigFailed  uint64
+	ReconfigFrames  uint64
+	Updating        uint32
 }
 
 // TenantIDs returns the snapshot's tenant IDs in ascending order.
@@ -194,7 +222,12 @@ func (t *telemetry) snapshot(workers []*worker, uptime time.Duration) Stats {
 			Frames:          w.stats.Frames.Load(),
 			P50BatchLatency: time.Duration(w.stats.latency.quantile(0.50)),
 			P99BatchLatency: time.Duration(w.stats.latency.quantile(0.99)),
+			ReconfigGen:     w.genApplied.Load(),
+			ReconfigApplied: w.stats.ReconfigApplied.Load(),
+			ReconfigFailed:  w.stats.ReconfigFailed.Load(),
 		}
+		st.ReconfigApplied += ws.ReconfigApplied
+		st.ReconfigFailed += ws.ReconfigFailed
 		if sampled := w.stats.Sampled.Load(); sampled > 0 {
 			// float64 keeps long-running engines from overflowing the
 			// uint64 product of two growing counters.

@@ -3,6 +3,7 @@ package engine
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -40,7 +41,7 @@ type worker struct {
 	done chan struct{}
 
 	mu       sync.Mutex
-	notEmpty *sync.Cond // signaled when frames arrive or the worker is closed
+	notEmpty *sync.Cond // signaled when frames/ops arrive or the worker is closed
 	notFull  *sync.Cond // signaled when ring space frees up or a batch completes
 
 	queues  map[uint16]*ring
@@ -49,6 +50,18 @@ type worker struct {
 	pending int // frames across all rings
 	busy    bool
 	closing bool
+
+	// Live-reconfiguration state (see reconfig.go). ops is the shard's
+	// control-operation queue, drained in issue order at batch
+	// boundaries. paused is the shard's tenant fence set: a paused
+	// tenant's rings are skipped by the round-robin service and its
+	// queued frames are counted in pausedPending so the loop does not
+	// spin on unservable work. genApplied is the shard's applied
+	// reconfiguration generation.
+	ops           []shardOp
+	paused        map[uint16]bool
+	pausedPending int
+	genApplied    atomic.Uint64
 
 	// reusable batch scratch (worker goroutine only)
 	batch [][]byte
@@ -63,6 +76,7 @@ func newWorker(id int, e *Engine, pipe *core.Pipeline) *worker {
 		pipe:   pipe,
 		done:   make(chan struct{}),
 		queues: make(map[uint16]*ring),
+		paused: make(map[uint16]bool),
 		batch:  make([][]byte, 0, e.cfg.BatchSize),
 		res:    make([]core.BatchResult, e.cfg.BatchSize),
 	}
@@ -108,6 +122,9 @@ func (w *worker) enqueueMany(frames [][]byte, tenants []uint16, drop bool) int {
 		}
 		q.push(f)
 		w.pending++
+		if w.paused[tenant] {
+			w.pausedPending++
+		}
 		accepted++
 	}
 	w.mu.Unlock()
@@ -118,10 +135,15 @@ func (w *worker) enqueueMany(frames [][]byte, tenants []uint16, drop bool) int {
 }
 
 // nextLocked picks the next tenant with queued frames, round robin.
+// Paused (fenced) tenants are skipped: their frames stay queued until
+// the fence lifts.
 func (w *worker) nextLocked() (uint16, *ring) {
 	for range w.order {
 		t := w.order[w.rr%len(w.order)]
 		w.rr++
+		if w.paused[t] {
+			continue
+		}
 		if q := w.queues[t]; q.count > 0 {
 			return t, q
 		}
@@ -129,22 +151,47 @@ func (w *worker) nextLocked() (uint16, *ring) {
 	return 0, nil
 }
 
-// run is the worker loop: wait for frames, service the next tenant's
-// ring for up to one batch, push the batch through the pipeline shard,
-// record telemetry, repeat. On close it drains every ring before
-// exiting.
+// run is the worker loop: wait for frames or control operations, drain
+// any queued control operations (the batch-boundary reconfiguration
+// point), service the next tenant's ring for up to one batch, push the
+// batch through the pipeline shard, record telemetry, repeat. On close
+// it drains remaining control operations and every ring before exiting;
+// tenant fences are void once the engine is closing, so drain-on-close
+// still covers every accepted frame.
 func (w *worker) run() {
 	defer close(w.done)
 	for {
 		w.mu.Lock()
-		for w.pending == 0 && !w.closing {
+		for len(w.ops) == 0 && w.pending-w.pausedPending == 0 && !w.closing {
 			w.notEmpty.Wait()
 		}
-		if w.pending == 0 && w.closing {
+		if len(w.ops) > 0 {
+			// Batch boundary: apply every queued control operation in
+			// issue order, then publish the shard's new generation.
+			ops := w.ops
+			w.ops = nil
+			w.drainOpsLocked(ops)
 			w.mu.Unlock()
-			return
+			w.eng.noteApplied(w, ops[len(ops)-1].gen)
+			continue
+		}
+		if w.closing {
+			if w.pending == 0 {
+				w.mu.Unlock()
+				return
+			}
+			if w.pausedPending > 0 {
+				// Closing overrides fences: serve held frames too.
+				clear(w.paused)
+				w.pausedPending = 0
+			}
 		}
 		tenant, q := w.nextLocked()
+		if q == nil {
+			// Nothing runnable (only fenced frames); wait for ops/close.
+			w.mu.Unlock()
+			continue
+		}
 		n := q.count
 		if n > w.eng.cfg.BatchSize {
 			n = w.eng.cfg.BatchSize

@@ -171,6 +171,23 @@ type Sink interface {
 	Apply(cmd Command) error
 }
 
+// Tagger issues monotonically increasing generation numbers for
+// control-plane operations that are fanned out to multiple pipeline
+// replicas. A generation orders one reconfiguration operation (a command
+// batch, a fence, a module load) relative to the batches of data frames
+// each replica processes: a replica that has applied generation g has
+// applied every operation tagged ≤ g, so "all replicas at generation g"
+// is a quiesce point for the whole fan-out.
+type Tagger struct {
+	gen atomic.Uint64
+}
+
+// Next reserves and returns the next generation number (starting at 1).
+func (t *Tagger) Next() uint64 { return t.gen.Add(1) }
+
+// Current returns the most recently issued generation (0 before any).
+func (t *Tagger) Current() uint64 { return t.gen.Load() }
+
 // DaisyChain models the separate configuration pipeline of §3.1. Commands
 // are applied strictly in order and the reconfiguration packet counter is
 // incremented for each packet that traverses the chain, whether or not it

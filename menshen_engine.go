@@ -46,14 +46,16 @@ type EngineConfig struct {
 // Engine is a running concurrent dataplane created by Device.NewEngine.
 type Engine struct {
 	eng *engine.Engine
+	dev *Device
 }
 
 // NewEngine snapshots the device's loaded modules into a concurrent
 // batched engine: every worker shard replays the modules' configuration
 // into its own pipeline replica (same geometry, same platform options,
-// same placements). Modules loaded or updated on the Device afterwards
-// are not reflected in a running engine — create the engine after
-// loading, or create a fresh one after reconfiguration.
+// same placements). To reconfigure a *running* engine, use the engine's
+// own LoadModule/UnloadModule/ApplyReconfig — modules loaded or updated
+// directly on the Device afterwards are not reflected in running
+// shards.
 func (d *Device) NewEngine(cfg EngineConfig) (*Engine, error) {
 	specs := make([]engine.ModuleSpec, 0, len(d.modules))
 	for _, id := range d.alloc.Loaded() {
@@ -73,7 +75,7 @@ func (d *Device) NewEngine(cfg EngineConfig) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{eng: e}, nil
+	return &Engine{eng: e, dev: d}, nil
 }
 
 // Workers returns the number of pipeline shards.
@@ -110,4 +112,90 @@ func (e *Engine) ClearTenantLimit(tenant uint16) { e.eng.ClearTenantLimit(tenant
 // advanced inspection of per-shard state.
 func (e *Engine) ShardPipeline(workerID int) (*core.Pipeline, error) {
 	return e.eng.Pipeline(workerID)
+}
+
+// --- Live reconfiguration (the running-engine control plane) ---
+//
+// Every method below reconfigures the engine while it carries traffic:
+// the operation is tagged with a generation, fanned out to each worker
+// shard's control queue, and applied at batch boundaries, so other
+// tenants' frames keep flowing throughout (§4.1's no-disruption
+// property, engine-wide). Methods return the operation's generation;
+// pass it to AwaitQuiesce to wait until every shard has applied it.
+
+// ApplyReconfig injects one raw reconfiguration frame (the Figure 7
+// wire format, built by the control software) into the running engine.
+// Equivalently, reconfiguration frames may be interleaved with data
+// frames in Submit/SubmitBatch: well-formed ones are diverted to the
+// control plane, and malformed ones fall through to the data path where
+// the shard packet filters drop them.
+func (e *Engine) ApplyReconfig(frame []byte) (uint64, error) {
+	return e.eng.ApplyReconfigFrame(frame)
+}
+
+// AwaitQuiesce blocks until every worker shard has applied the given
+// reconfiguration generation (and therefore every operation issued
+// before it).
+func (e *Engine) AwaitQuiesce(gen uint64) error { return e.eng.AwaitQuiesce(gen) }
+
+// Quiesce waits until every shard has applied every operation issued so
+// far.
+func (e *Engine) Quiesce() error { return e.eng.Quiesce() }
+
+// ReconfigGen returns the most recently issued reconfiguration
+// generation.
+func (e *Engine) ReconfigGen() uint64 { return e.eng.ReconfigGen() }
+
+// LoadModule compiles, admits, and loads a module onto the backing
+// device, then replays its configuration live into every running worker
+// shard as one fenced operation. Other tenants keep processing frames
+// throughout. If the live fan-out fails (in practice: the engine was
+// closed concurrently), the device load is rolled back so device and
+// shards stay in agreement.
+func (e *Engine) LoadModule(source string, moduleID uint16) (*LoadReport, uint64, error) {
+	rep, err := e.dev.LoadModule(source, moduleID)
+	if err != nil {
+		return nil, 0, err
+	}
+	m := e.dev.modules[moduleID]
+	gen, err := e.eng.LoadModuleLive(engine.ModuleSpec{Config: m.program.Config, Placement: m.placement})
+	if err != nil {
+		_ = e.dev.UnloadModule(moduleID) // keep device and shards in agreement
+		return nil, 0, err
+	}
+	return rep, gen, nil
+}
+
+// UnloadModule removes a module from the backing device and clears it
+// from every running worker shard (tables and stateful segments zeroed),
+// without disturbing other tenants. The live fan-out only fails when
+// the engine is closed — its shards are terminal then, so the device
+// unload is not rolled back.
+func (e *Engine) UnloadModule(moduleID uint16) (uint64, error) {
+	if err := e.dev.UnloadModule(moduleID); err != nil {
+		return 0, err
+	}
+	return e.eng.UnloadModuleLive(moduleID)
+}
+
+// BeginTenantUpdate fences one tenant across every shard: after the
+// returned generation quiesces, none of the tenant's frames are
+// processed (they are held in their rings, not dropped) until
+// EndTenantUpdate, while all other tenants keep flowing. Use it to make
+// a multi-step reconfiguration atomic with respect to the tenant's
+// traffic. Drain blocks on held frames, so always end the update.
+func (e *Engine) BeginTenantUpdate(tenant uint16) (uint64, error) {
+	return e.eng.BeginTenantUpdate(tenant)
+}
+
+// EndTenantUpdate lifts a tenant's fence.
+func (e *Engine) EndTenantUpdate(tenant uint16) (uint64, error) {
+	return e.eng.EndTenantUpdate(tenant)
+}
+
+// SetTenantUpdating sets or clears the packet-filter update bit for the
+// tenant on every shard — the paper's drop-during-update semantics, as
+// opposed to the hold semantics of BeginTenantUpdate.
+func (e *Engine) SetTenantUpdating(tenant uint16, updating bool) (uint64, error) {
+	return e.eng.SetTenantUpdating(tenant, updating)
 }
