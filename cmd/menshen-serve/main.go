@@ -39,6 +39,7 @@ func main() {
 	seed := flag.Uint64("seed", 42, "workload PRNG seed")
 	liveReconfig := flag.Int("live-reconfig", 0,
 		"live unload+reload the last tenant this many times mid-run, while other tenants keep flowing")
+	progress := flag.Int("progress", 0, "print a progress line every N submitted frames (0 = off)")
 	flag.Parse()
 
 	var kind menshen.PlatformKind
@@ -118,6 +119,11 @@ func main() {
 
 	sc := trafficgen.NewScenario(*seed, loads...)
 	var frames [][]byte
+	// One snapshot reused across every poll: StatsInto refills its map
+	// and slices in place, so the serve loop's telemetry reads allocate
+	// nothing after the first.
+	var st menshen.EngineStats
+	nextProgress := *progress
 	start := time.Now()
 	for sent := 0; sent < *packets; {
 		n := *batch * eng.Workers()
@@ -129,6 +135,14 @@ func main() {
 			fatal(err)
 		}
 		sent += n
+		if *progress > 0 && sent >= nextProgress {
+			nextProgress += *progress
+			eng.StatsInto(&st)
+			tot := st.Totals()
+			fmt.Printf("progress: %9d submitted  %9d forwarded  %7d dropped  pool hit %.3f  %.2f Mpps\n",
+				sent, tot.Processed, tot.Dropped(), st.PoolHitRate(),
+				float64(tot.Processed)/time.Since(start).Seconds()/1e6)
+		}
 		for reconfigAt > 0 && reconfigsDone < *liveReconfig && sent >= (reconfigsDone+1)*reconfigAt {
 			if _, err := eng.UnloadModule(reconfigID); err != nil {
 				fatal(fmt.Errorf("live unload tenant %d: %w", reconfigID, err))
@@ -148,7 +162,7 @@ func main() {
 		}
 	}
 	wall := time.Since(start)
-	st := eng.Stats()
+	eng.StatsInto(&st)
 
 	if reconfigsDone > 0 {
 		fmt.Printf("\n--- live reconfiguration ---\n")
@@ -192,10 +206,14 @@ func main() {
 
 	fmt.Printf("\n--- workers ---\n")
 	for i, ws := range st.Workers {
-		fmt.Printf("worker %2d: %9d frames in %8d batches (avg %5.1f/batch)  p50 %8v  p99 %8v  busy %v\n",
-			i, ws.Frames, ws.Batches, ws.AvgBatch(),
+		fmt.Printf("worker %2d: %9d frames in %8d batches (avg %5.1f/batch, target %2d)  p50 %8v  p99 %8v  busy %v\n",
+			i, ws.Frames, ws.Batches, ws.AvgBatch(), ws.BatchTarget,
 			ws.P50BatchLatency, ws.P99BatchLatency, ws.Busy.Round(time.Millisecond))
 	}
+
+	fmt.Printf("\n--- zero-copy ---\n")
+	fmt.Printf("buffer pool: %d hits, %d misses (hit rate %.3f); ingress bytes copied: %.2f MB\n",
+		st.PoolHits, st.PoolMisses, st.PoolHitRate(), float64(st.BytesCopied)/1e6)
 
 	tot := st.Totals()
 	pps := float64(tot.Processed) / wall.Seconds()

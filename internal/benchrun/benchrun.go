@@ -1,0 +1,155 @@
+// Package benchrun runs the engine-throughput benchmark family outside
+// `go test`, so cmd/menshen-bench can emit machine-readable benchmark
+// trajectories (BENCH_<n>.json). The measured loops mirror
+// BenchmarkEngineThroughput in the repository root: a synchronous
+// Device.Send baseline against the batched engine at several
+// worker/batch configurations, plus the zero-copy (Borrow/SubmitOwned)
+// variant.
+package benchrun
+
+import (
+	"testing"
+
+	menshen "repro"
+	"repro/internal/p4progs"
+	"repro/internal/trafficgen"
+)
+
+// Result is one measured configuration.
+type Result struct {
+	// Name identifies the configuration ("SendLoop",
+	// "workers=4/batch=32", "workers=4/batch=32/owned", ...).
+	Name string `json:"name"`
+	// NsPerFrame is the steady-state cost of one frame in nanoseconds.
+	NsPerFrame float64 `json:"ns_per_frame"`
+	// PPS is the corresponding throughput in packets per second.
+	PPS float64 `json:"pps"`
+	// AllocsPerOp and BytesPerOp are the allocator's per-frame
+	// amortized footprint (runtime.MemStats deltas over the run).
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	// Frames is how many frames the benchmark harness settled on.
+	Frames int `json:"frames"`
+}
+
+func fromBenchmark(name string, r testing.BenchmarkResult) Result {
+	ns := float64(r.T.Nanoseconds()) / float64(r.N)
+	pps := 0.0
+	if ns > 0 {
+		pps = 1e9 / ns
+	}
+	return Result{
+		Name:        name,
+		NsPerFrame:  ns,
+		PPS:         pps,
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Frames:      r.N,
+	}
+}
+
+// framePool builds the shared CALC traffic pool (64 flows) used by
+// every configuration, identical to the go test benchmark's.
+func framePool() [][]byte {
+	const poolSize = 1024
+	gen := trafficgen.DefaultGen("CALC", 1, 0, 64, trafficgen.NewPRNG(21))
+	pool := make([][]byte, poolSize)
+	for i := range pool {
+		pool[i] = gen(i)
+	}
+	return pool
+}
+
+func loadedDevice() *menshen.Device {
+	dev := menshen.NewDevice(menshen.WithPlatform(menshen.PlatformCorundumOptimized))
+	calc, err := p4progs.ByName("CALC")
+	if err != nil {
+		panic(err)
+	}
+	if _, err := dev.LoadModule(calc.Source(), 1); err != nil {
+		panic(err)
+	}
+	return dev
+}
+
+// SendLoop measures the synchronous Device.Send baseline.
+func SendLoop() Result {
+	dev := loadedDevice()
+	pool := framePool()
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			out, err := dev.Send(pool[i%len(pool)])
+			if err != nil {
+				b.Fatal(err)
+			}
+			if out.Dropped {
+				b.Fatal("dropped")
+			}
+		}
+	})
+	return fromBenchmark("SendLoop", res)
+}
+
+// Engine measures the batched engine at the given configuration. With
+// owned set, frames are staged into borrowed buffers and submitted with
+// SubmitBatchOwned — the end-to-end zero-copy path.
+func Engine(name string, workers, batch int, owned bool) Result {
+	dev := loadedDevice()
+	eng, err := dev.NewEngine(menshen.EngineConfig{
+		Workers:    workers,
+		BatchSize:  batch,
+		QueueDepth: 4096,
+	})
+	if err != nil {
+		panic(err)
+	}
+	pool := framePool()
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		sub := make([][]byte, 0, batch)
+		for i := 0; i < b.N; i++ {
+			f := pool[i%len(pool)]
+			if owned {
+				buf := eng.Borrow(len(f))
+				copy(buf, f)
+				f = buf
+			}
+			sub = append(sub, f)
+			if len(sub) == batch {
+				submit(b, eng, sub, owned)
+				sub = sub[:0]
+			}
+		}
+		if len(sub) > 0 {
+			submit(b, eng, sub, owned)
+		}
+		eng.Drain()
+	})
+	defer eng.Close()
+	return fromBenchmark(name, res)
+}
+
+func submit(b *testing.B, eng *menshen.Engine, sub [][]byte, owned bool) {
+	var err error
+	if owned {
+		_, err = eng.SubmitBatchOwned(sub)
+	} else {
+		_, err = eng.SubmitBatch(sub)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// Suite runs the standard trajectory: the SendLoop baseline, the
+// engine at 1 and 4 workers with batch 32, and the zero-copy owned
+// variant of the 4-worker configuration.
+func Suite() []Result {
+	return []Result{
+		SendLoop(),
+		Engine("workers=1/batch=32", 1, 32, false),
+		Engine("workers=4/batch=32", 4, 32, false),
+		Engine("workers=4/batch=32/owned", 4, 32, true),
+	}
+}

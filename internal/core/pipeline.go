@@ -122,13 +122,18 @@ type Pipeline struct {
 
 // moduleViews is one module's cached configuration across all stages,
 // plus its parser/deparser entries (nil when not installed; snapshot
-// refs are immutable).
+// refs are immutable) and their compiled programs.
 type moduleViews struct {
 	gen     uint64 // cfgGen the views were resolved at (0 = never)
 	views   []stage.View
 	parse   *parser.Entry
 	deparse *parser.Entry
-	stats   *ModuleStats
+	// parseProg/deparseProg are the entries compiled to their valid
+	// actions with container refs pre-resolved (parser.Program); the
+	// per-frame path pays no per-action validity or range checks.
+	parseProg   parser.Program
+	deparseProg parser.Program
+	stats       *ModuleStats
 }
 
 // New returns a Menshen pipeline with the given geometry and options.
@@ -332,8 +337,10 @@ func (p *Pipeline) processLocked(data []byte, ingressPort uint8) (*Output, *Trac
 // is reused across ProcessBatch calls: consume (or copy) it before the
 // slice is submitted again.
 type BatchResult struct {
-	// Data is the processed frame (nil when dropped). The buffer is owned
-	// by the result slice and recycled on the next ProcessBatch call.
+	// Data is the processed frame (nil when dropped). Under ProcessBatch
+	// the buffer is owned by the result slice and recycled on the next
+	// ProcessBatch call; under ProcessBatchInPlace it aliases the
+	// submitted frame.
 	Data []byte
 	// ModuleID is the frame's VLAN-carried module ID.
 	ModuleID uint16
@@ -358,9 +365,66 @@ type BatchResult struct {
 // least as long as frames). It is the engine's fast path: per-frame
 // Output/trace allocations are skipped and each res[i].Data buffer is
 // reused across calls, so steady-state processing allocates nothing.
-// A per-frame error is recorded in res[i].Err and does not abort the
-// batch.
+// The submitted frames are never written to (the deparser writes into
+// the per-result buffer). A per-frame error is recorded in res[i].Err
+// and does not abort the batch.
 func (p *Pipeline) ProcessBatch(frames [][]byte, ingressPort uint8, res []BatchResult) error {
+	return p.processBatch(frames, ingressPort, res, false)
+}
+
+// ProcessBatchInPlace is ProcessBatch minus the last copy: the deparser
+// writes modified headers directly into each submitted frame, and
+// res[i].Data aliases frames[i] on success. The caller must own the
+// frame buffers (nothing else may read or write them while the batch
+// runs) and must treat their contents as replaced by the processed
+// frame. Deparsing touches only the configured writeback windows
+// (parser.Program.Deparse's aliasing guarantee), so the result bytes
+// are identical to the copying path's.
+func (p *Pipeline) ProcessBatchInPlace(frames [][]byte, ingressPort uint8, res []BatchResult) error {
+	return p.processBatch(frames, ingressPort, res, true)
+}
+
+// batchScope accumulates the per-frame side effects of one batch —
+// filter verdict counters, round-robin tags, and per-module traffic
+// stats — so the steady-state frame loop performs no atomic operations.
+// Module stats are flushed when the batch switches modules (rare: the
+// engine's rings are per-tenant) and once at the end.
+type batchScope struct {
+	cls            reconfig.ClassifyScope
+	stats          *ModuleStats
+	packets, drops uint64
+	bytes          uint64
+}
+
+func (b *batchScope) flushStats() {
+	if b.stats == nil {
+		return
+	}
+	if b.packets > 0 {
+		b.stats.Packets.Add(b.packets)
+		b.stats.Bytes.Add(b.bytes)
+	}
+	if b.drops > 0 {
+		b.stats.Drops.Add(b.drops)
+	}
+	b.packets, b.bytes, b.drops = 0, 0, 0
+}
+
+// account charges one forwarded/discarded frame to the module's stats.
+func (b *batchScope) account(stats *ModuleStats, bytes uint64, dropped bool) {
+	if b.stats != stats {
+		b.flushStats()
+		b.stats = stats
+	}
+	if dropped {
+		b.drops++
+		return
+	}
+	b.packets++
+	b.bytes += bytes
+}
+
+func (p *Pipeline) processBatch(frames [][]byte, ingressPort uint8, res []BatchResult, inPlace bool) error {
 	if len(res) < len(frames) {
 		return fmt.Errorf("core: result slice too short: %d results for %d frames", len(res), len(frames))
 	}
@@ -368,9 +432,13 @@ func (p *Pipeline) ProcessBatch(frames [][]byte, ingressPort uint8, res []BatchR
 	defer p.mu.Unlock()
 	gen := p.cfgGen.Load()
 	var v phv.PHV
+	var bs batchScope
+	p.Filter.BeginBatch(&bs.cls)
 	for i, data := range frames {
-		p.processBatchFrame(data, ingressPort, gen, &v, &res[i])
+		p.processBatchFrame(data, ingressPort, gen, &v, &res[i], inPlace, &bs)
 	}
+	bs.flushStats()
+	p.Filter.CommitBatch(&bs.cls)
 	return nil
 }
 
@@ -449,23 +517,25 @@ func (p *Pipeline) ModuleChecksum(moduleID uint16) uint64 {
 	return h.Sum64()
 }
 
-// processBatchFrame is processLocked minus the allocations: no Output,
-// no StageResults, no PHV copy-out, and the deparse buffer is recycled
-// from the previous use of r.
-func (p *Pipeline) processBatchFrame(data []byte, ingressPort uint8, gen uint64, v *phv.PHV, r *BatchResult) {
+// processBatchFrame is processLocked minus the allocations and the
+// atomics: no Output, no StageResults, no PHV copy-out, side effects
+// accumulated into bs. With inPlace unset the deparse buffer is
+// recycled from the previous use of r; with it set the deparser writes
+// straight into data and r.Data aliases it.
+func (p *Pipeline) processBatchFrame(data []byte, ingressPort uint8, gen uint64, v *phv.PHV, r *BatchResult, inPlace bool, bs *batchScope) {
 	r.Data = nil
 	r.EgressPort = 0
 	r.Dropped = false
 	r.DiscardedByModule = false
 	r.Err = nil
 
-	cls := p.Filter.Classify(data, p.Options.NumParsers)
+	cls := p.Filter.ClassifyBatched(data, p.Options.NumParsers, &bs.cls)
 	r.Verdict = cls.Verdict
 	r.ModuleID = cls.ModuleID
 	if cls.Verdict != reconfig.VerdictData {
 		r.Dropped = true
 		if s, ok := p.stats[cls.ModuleID]; ok && cls.Verdict == reconfig.VerdictDropUpdating {
-			s.Drops.Add(1)
+			bs.account(s, 0, true)
 		}
 		return
 	}
@@ -483,6 +553,12 @@ func (p *Pipeline) processBatchFrame(data []byte, ingressPort uint8, gen uint64,
 		}
 		mv.parse, _ = p.Parser.EntryRef(int(cls.ModuleID))
 		mv.deparse, _ = p.Deparser.EntryRef(int(cls.ModuleID))
+		if mv.parse != nil {
+			mv.parseProg = mv.parse.Compile()
+		}
+		if mv.deparse != nil {
+			mv.deparseProg = mv.deparse.Compile()
+		}
 		mv.stats = p.statsLocked(cls.ModuleID)
 		mv.gen = gen
 	}
@@ -492,7 +568,7 @@ func (p *Pipeline) processBatchFrame(data []byte, ingressPort uint8, gen uint64,
 		r.Dropped = true
 		return
 	}
-	if err := parser.ParseWith(mv.parse, data, v); err != nil {
+	if err := mv.parseProg.Parse(data, v); err != nil {
 		r.Dropped = true
 		r.Err = err
 		return
@@ -515,24 +591,23 @@ func (p *Pipeline) processBatchFrame(data []byte, ingressPort uint8, gen uint64,
 	if v.Discarded() {
 		r.Dropped = true
 		r.DiscardedByModule = true
-		mv.stats.Drops.Add(1)
+		bs.account(mv.stats, 0, true)
 		return
 	}
 
-	r.buf = append(r.buf[:0], data...)
+	buf := data
+	if !inPlace {
+		buf = append(r.buf[:0], data...)
+		r.buf = buf
+	}
 	// A module may legitimately modify nothing; a missing deparser entry
 	// (mv.deparse == nil) means "no writebacks".
 	if mv.deparse != nil {
-		if err := parser.DeparseWith(mv.deparse, r.buf, v); err != nil {
-			r.Dropped = true
-			r.Err = err
-			return
-		}
+		mv.deparseProg.Deparse(buf, v)
 	}
-	r.Data = r.buf
+	r.Data = buf
 	r.EgressPort = v.Egress()
-	mv.stats.Packets.Add(1)
-	mv.stats.Bytes.Add(uint64(len(data)))
+	bs.account(mv.stats, uint64(len(data)), false)
 }
 
 func (p *Pipeline) statsLocked(moduleID uint16) *ModuleStats {

@@ -73,6 +73,14 @@ type Config struct {
 	// full: true tail-drops the frame (counted per tenant), false blocks
 	// the submitter until the worker catches up.
 	DropOnFull bool
+	// FixedBatch disables adaptive batch sizing: workers always service
+	// up to BatchSize frames per batch. By default the per-worker batch
+	// size adapts to load — it grows toward BatchSize while the shard's
+	// rings run deep and shrinks toward 1 when they run shallow (EWMA
+	// over ring occupancy observed at each service point), trading
+	// amortization for latency only when there is a backlog to amortize
+	// over.
+	FixedBatch bool
 	// Geometry and Options configure each worker's pipeline replica;
 	// use the device's values so shards match the loaded hardware model.
 	Geometry core.Geometry
@@ -98,6 +106,11 @@ type Engine struct {
 	mu      sync.Mutex // guards lifecycle state and control-op fan-out
 	closed  bool
 	scratch sync.Pool // *submitScratch
+
+	// pool recycles frame buffers across batches: Submit copies into it,
+	// SubmitOwned borrows from it, and workers release buffers back to
+	// it once a batch's results have been delivered.
+	pool bufPool
 }
 
 // New builds the worker shards, replays the module set into each
@@ -124,6 +137,11 @@ func New(cfg Config) (*Engine, error) {
 		limiter: sched.NewRateLimiter(),
 		start:   time.Now(),
 	}
+	// Base retention: in-flight batches and submitter stashes. Each
+	// per-tenant ring a worker creates grows the limit by its depth
+	// (worker.queueLocked), so the pool always covers a complete
+	// drain-and-refill cycle of the whole engine.
+	e.pool.grow(cfg.Workers*4*cfg.BatchSize + 2*poolStash)
 	e.ctrl.qcond = sync.NewCond(&e.ctrl.qmu)
 	for i := 0; i < cfg.Workers; i++ {
 		pipe := core.New(cfg.Geometry, cfg.Options)
@@ -159,14 +177,39 @@ func (e *Engine) ClearTenantLimit(tenant uint16) { e.limiter.ClearLimit(tenant) 
 // tenant's ring. It reports whether the frame was accepted: false means
 // it was rate-limited or tail-dropped (counted in Stats), or the engine
 // is closed (ErrClosed). With DropOnFull unset Submit blocks while the
-// tenant's ring is full. The engine takes ownership of the frame buffer
-// until its batch completes. A well-formed reconfiguration frame (UDP
-// port 0xf1f2, Figure 7) is diverted to the live-reconfiguration
-// control plane instead of the data path; see ApplyReconfigFrame.
+// tenant's ring is full. The frame is copied into an engine-owned
+// pooled buffer, so the caller keeps ownership of (and may immediately
+// reuse) its own buffer — the copy is the one and only copy on the
+// frame's whole path; the pipeline then deparses it in place. For
+// copy-free submission, see SubmitOwned. A well-formed reconfiguration
+// frame (UDP port 0xf1f2, Figure 7) is diverted to the
+// live-reconfiguration control plane instead of the data path; see
+// ApplyReconfigFrame.
 func (e *Engine) Submit(frame []byte) (bool, error) {
 	n, err := e.SubmitBatch([][]byte{frame})
 	return n == 1, err
 }
+
+// SubmitOwned is Submit without the ingress copy: the engine takes
+// ownership of the frame buffer itself — the true zero-copy path. The
+// caller must not read or write the buffer after the call, whether the
+// frame was accepted or not (a rejected frame's buffer is reclaimed
+// into the engine pool immediately). Borrow is the intended source of
+// such buffers; together they make the steady-state path copy- and
+// allocation-free end to end. The processed bytes are deparsed directly
+// into the submitted buffer and surface as BatchResult.Data in OnBatch.
+func (e *Engine) SubmitOwned(frame []byte) (bool, error) {
+	n, err := e.SubmitBatchOwned([][]byte{frame})
+	return n == 1, err
+}
+
+// Borrow returns an n-byte buffer from the engine's pool for use with
+// SubmitOwned. Release returns one without submitting it. Buffers are
+// size-classed; steady-state Borrow/Submit cycles allocate nothing.
+func (e *Engine) Borrow(n int) []byte { return e.pool.get(n) }
+
+// Release returns a borrowed buffer to the pool without submitting it.
+func (e *Engine) Release(buf []byte) { e.pool.put(buf) }
 
 // submitScratch groups a submitted batch by destination worker so each
 // worker's ring lock is taken once per SubmitBatch call instead of once
@@ -174,6 +217,7 @@ func (e *Engine) Submit(frame []byte) (bool, error) {
 type submitScratch struct {
 	frames  [][][]byte // per worker
 	tenants [][]uint16 // per worker, parallel to frames
+	stash   poolStasher
 }
 
 func (e *Engine) getScratch() *submitScratch {
@@ -183,14 +227,32 @@ func (e *Engine) getScratch() *submitScratch {
 	return &submitScratch{
 		frames:  make([][][]byte, len(e.workers)),
 		tenants: make([][]uint16, len(e.workers)),
+		stash:   poolStasher{class: -1},
 	}
 }
 
 // SubmitBatch steers and enqueues a batch, returning how many frames
-// were accepted. It is safe to call concurrently from any number of
-// producers.
+// were accepted. Each accepted frame is copied into an engine-owned
+// pooled buffer (see Submit for the ownership contract). It is safe to
+// call concurrently from any number of producers.
 func (e *Engine) SubmitBatch(frames [][]byte) (int, error) {
+	return e.submitBatch(frames, false)
+}
+
+// SubmitBatchOwned is SubmitBatch without the ingress copy: the engine
+// takes ownership of every frame buffer, accepted or not (see
+// SubmitOwned). It is the batch form of the zero-copy path.
+func (e *Engine) SubmitBatchOwned(frames [][]byte) (int, error) {
+	return e.submitBatch(frames, true)
+}
+
+func (e *Engine) submitBatch(frames [][]byte, owned bool) (int, error) {
 	if e.isClosed() {
+		if owned {
+			for _, f := range frames {
+				e.pool.put(f)
+			}
+		}
 		return 0, ErrClosed
 	}
 	sc := e.getScratch()
@@ -198,12 +260,13 @@ func (e *Engine) SubmitBatch(frames [][]byte) (int, error) {
 	lastTenant := -1
 	ctrlAccepted := 0 // reconfiguration frames accepted off the data path
 	run := uint64(0)  // Submitted frames of the current tenant run
+	copied := 0       // ingress bytes copied into pooled buffers
 	hasLimits := e.tel.hasLimits.Load()
 	var now float64
 	if hasLimits {
 		now = time.Since(e.start).Seconds() // one clock read per call, not per frame
 	}
-	for _, f := range frames {
+	for fi, f := range frames {
 		if reconfig.IsReconfigFrame(f) {
 			// Trusted control path: a well-formed reconfiguration frame
 			// submitted in-process is fanned out to every shard's
@@ -213,6 +276,9 @@ func (e *Engine) SubmitBatch(frames [][]byte) (int, error) {
 			if _, err := e.ApplyReconfigFrame(f); err == nil {
 				e.tel.reconfigFrames.Add(1)
 				ctrlAccepted++
+				if owned {
+					e.pool.put(f) // the command was copied out by the control plane
+				}
 				continue
 			}
 		}
@@ -228,13 +294,25 @@ func (e *Engine) SubmitBatch(frames [][]byte) (int, error) {
 		run++
 		if hasLimits && !e.limiter.Allow(tenant, len(f), now) {
 			tc.RateLimited.Add(1)
+			if owned {
+				e.pool.put(f)
+			}
 			continue
 		}
-		sc.frames[wid] = append(sc.frames[wid], f)
+		buf := f
+		if !owned {
+			buf = sc.stash.get(&e.pool, len(f), len(frames)-fi)
+			copy(buf, f)
+			copied += len(f)
+		}
+		sc.frames[wid] = append(sc.frames[wid], buf)
 		sc.tenants[wid] = append(sc.tenants[wid], tenant)
 	}
 	if run > 0 {
 		tc.Submitted.Add(run)
+	}
+	if copied > 0 {
+		e.tel.bytesCopied.Add(uint64(copied))
 	}
 	accepted := ctrlAccepted
 	for wid := range sc.frames {
@@ -245,6 +323,11 @@ func (e *Engine) SubmitBatch(frames [][]byte) (int, error) {
 		sc.frames[wid] = sc.frames[wid][:0]
 		sc.tenants[wid] = sc.tenants[wid][:0]
 	}
+	// Flush the stash before parking the scratch: sync.Pool may drop
+	// the scratch at any time (it does so aggressively under the race
+	// detector), and buffers parked in a dropped stash would leak out
+	// of circulation and show up as pool misses.
+	sc.stash.flush(&e.pool)
 	e.scratch.Put(sc)
 	return accepted, nil
 }
@@ -286,11 +369,22 @@ func (e *Engine) isClosed() bool {
 
 // Stats snapshots the engine's telemetry.
 func (e *Engine) Stats() Stats {
-	st := e.tel.snapshot(e.workers, time.Since(e.start))
+	var st Stats
+	e.StatsInto(&st)
+	return st
+}
+
+// StatsInto snapshots the engine's telemetry into st, reusing st's
+// tenant map and worker slice across calls: a caller polling stats in a
+// loop holds one snapshot and pays no per-poll allocations.
+func (e *Engine) StatsInto(st *Stats) {
+	e.tel.snapshotInto(st, e.workers, time.Since(e.start))
 	st.ReconfigIssued = e.ctrl.tagger.Current()
 	st.ReconfigFrames = e.tel.reconfigFrames.Load()
 	st.Updating = e.ctrl.updating.Load()
-	return st
+	st.PoolHits = e.pool.hits.Load()
+	st.PoolMisses = e.pool.misses.Load()
+	st.BytesCopied = e.tel.bytesCopied.Load()
 }
 
 // Pipeline exposes a worker shard's pipeline (for tests and advanced

@@ -91,6 +91,9 @@ type telemetry struct {
 	// reconfigFrames counts raw reconfiguration frames accepted off the
 	// submit path and diverted to the control plane.
 	reconfigFrames atomic.Uint64
+	// bytesCopied counts ingress bytes copied into pooled buffers by
+	// Submit/SubmitBatch; the owned (zero-copy) path never adds to it.
+	bytesCopied atomic.Uint64
 }
 
 func newTelemetry() *telemetry {
@@ -138,6 +141,10 @@ type WorkerStats struct {
 	// time distribution (log-bucket midpoints).
 	P50BatchLatency time.Duration
 	P99BatchLatency time.Duration
+	// BatchTarget is the worker's current adaptive batch size (equal to
+	// the configured BatchSize when adaptation is disabled or the shard
+	// is saturated; sinks toward 1 when its rings run shallow).
+	BatchTarget int
 	// ReconfigGen is the shard's applied reconfiguration generation;
 	// when it equals Stats.ReconfigIssued the shard has applied every
 	// control operation issued so far.
@@ -176,6 +183,26 @@ type Stats struct {
 	ReconfigFailed  uint64
 	ReconfigFrames  uint64
 	Updating        uint32
+
+	// Buffer-pool and zero-copy accounting: PoolHits/PoolMisses count
+	// buffer requests served from the pool versus freshly allocated
+	// (Submit ingress copies plus Borrow calls), and BytesCopied is the
+	// total ingress bytes copied by the non-owned submit path. A
+	// steady-state engine shows a hit rate near 1 and, on the owned
+	// path, no copied-bytes growth at all.
+	PoolHits    uint64
+	PoolMisses  uint64
+	BytesCopied uint64
+}
+
+// PoolHitRate is the fraction of buffer requests served from the pool,
+// in [0, 1]; 0 when no requests have been made.
+func (s Stats) PoolHitRate() float64 {
+	total := s.PoolHits + s.PoolMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.PoolHits) / float64(total)
 }
 
 // TenantIDs returns the snapshot's tenant IDs in ascending order.
@@ -202,8 +229,20 @@ func (s Stats) Totals() TenantStats {
 	return tot
 }
 
-func (t *telemetry) snapshot(workers []*worker, uptime time.Duration) Stats {
-	st := Stats{Tenants: make(map[uint16]TenantStats), Uptime: uptime}
+// snapshotInto fills st, reusing its tenant map and worker slice when
+// present so a caller polling stats in a loop (the serve CLI, a
+// monitoring goroutine) allocates only on its first call — not one map
+// plus one slice per poll.
+func (t *telemetry) snapshotInto(st *Stats, workers []*worker, uptime time.Duration) {
+	if st.Tenants == nil {
+		st.Tenants = make(map[uint16]TenantStats)
+	} else {
+		clear(st.Tenants)
+	}
+	st.Workers = st.Workers[:0]
+	st.Uptime = uptime
+	st.ReconfigApplied = 0
+	st.ReconfigFailed = 0
 	t.mu.RLock()
 	for id, tc := range t.tenants {
 		st.Tenants[id] = TenantStats{
@@ -222,9 +261,13 @@ func (t *telemetry) snapshot(workers []*worker, uptime time.Duration) Stats {
 			Frames:          w.stats.Frames.Load(),
 			P50BatchLatency: time.Duration(w.stats.latency.quantile(0.50)),
 			P99BatchLatency: time.Duration(w.stats.latency.quantile(0.99)),
+			BatchTarget:     int(w.batchTarget.Load()),
 			ReconfigGen:     w.genApplied.Load(),
 			ReconfigApplied: w.stats.ReconfigApplied.Load(),
 			ReconfigFailed:  w.stats.ReconfigFailed.Load(),
+		}
+		if ws.BatchTarget == 0 || w.eng.cfg.FixedBatch {
+			ws.BatchTarget = w.eng.cfg.BatchSize
 		}
 		st.ReconfigApplied += ws.ReconfigApplied
 		st.ReconfigFailed += ws.ReconfigFailed
@@ -235,5 +278,4 @@ func (t *telemetry) snapshot(workers []*worker, uptime time.Duration) Stats {
 		}
 		st.Workers = append(st.Workers, ws)
 	}
-	return st
 }

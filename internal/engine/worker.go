@@ -67,6 +67,15 @@ type worker struct {
 	batch [][]byte
 	res   []core.BatchResult
 	stats workerCounters
+
+	// Adaptive batch sizing (worker goroutine only, except the atomic).
+	// ewma tracks ring occupancy in 1/16ths (fixed point); the service
+	// batch size follows it, clamped to [1, BatchSize], so a backlogged
+	// shard amortizes across full batches while a lightly loaded one
+	// turns frames around almost immediately. batchTarget publishes the
+	// current size for telemetry.
+	ewma        int
+	batchTarget atomic.Uint32
 }
 
 func newWorker(id int, e *Engine, pipe *core.Pipeline) *worker {
@@ -93,6 +102,9 @@ func (w *worker) queueLocked(tenant uint16) *ring {
 		q = newRing(w.eng.cfg.QueueDepth)
 		w.queues[tenant] = q
 		w.order = append(w.order, tenant)
+		// Every ring adds its depth to the worst-case in-flight buffer
+		// set; let the pool retain that many more.
+		w.eng.pool.grow(w.eng.cfg.QueueDepth)
 	}
 	return q
 }
@@ -118,6 +130,7 @@ func (w *worker) enqueueMany(frames [][]byte, tenants []uint16, drop bool) int {
 		}
 		if w.closing || q.full() {
 			w.eng.tel.tenant(tenant).QueueFull.Add(1)
+			w.eng.pool.put(f) // rejected frames are engine-owned: reclaim
 			continue
 		}
 		q.push(f)
@@ -193,8 +206,8 @@ func (w *worker) run() {
 			continue
 		}
 		n := q.count
-		if n > w.eng.cfg.BatchSize {
-			n = w.eng.cfg.BatchSize
+		if max := w.targetLocked(); n > max {
+			n = max
 		}
 		w.batch = w.batch[:0]
 		for i := 0; i < n; i++ {
@@ -214,8 +227,11 @@ func (w *worker) run() {
 		if sample {
 			start = time.Now()
 		}
+		// Zero-copy: the pipeline deparses directly into the ring
+		// buffers (all engine-owned), so res[i].Data aliases
+		// w.batch[i]; both are reclaimed together after delivery.
 		res := w.res[:n]
-		err := w.pipe.ProcessBatch(w.batch, 0, res)
+		err := w.pipe.ProcessBatchInPlace(w.batch, 0, res)
 		if sample {
 			elapsed := time.Since(start)
 			w.stats.Sampled.Add(1)
@@ -245,12 +261,40 @@ func (w *worker) run() {
 		if cb := w.eng.cfg.OnBatch; cb != nil && err == nil {
 			cb(w.id, tenant, res)
 		}
+		// Results were delivered (or the frames dropped): recycle the
+		// batch's buffers. This is the "result valid until the
+		// callback returns" lifetime boundary — res[i].Data aliases
+		// these buffers, which the pool may hand to the next batch.
+		w.eng.pool.putAll(w.batch)
 
 		w.mu.Lock()
 		w.busy = false
 		w.mu.Unlock()
 		w.notFull.Broadcast() // wake Drain waiters
 	}
+}
+
+// targetLocked returns the current service batch size and advances the
+// occupancy EWMA; the caller holds w.mu. With FixedBatch set it is
+// always BatchSize. Otherwise the EWMA (x16 fixed point, α=1/8) tracks
+// how many frames were pending when the worker reached a service point:
+// a deep backlog pushes the batch toward BatchSize within a few
+// batches, an idle shard decays toward single-frame service.
+func (w *worker) targetLocked() int {
+	max := w.eng.cfg.BatchSize
+	if w.eng.cfg.FixedBatch {
+		return max
+	}
+	w.ewma += (w.pending<<4 - w.ewma) >> 3
+	target := w.ewma >> 4
+	if target < 1 {
+		target = 1
+	}
+	if target > max {
+		target = max
+	}
+	w.batchTarget.Store(uint32(target))
+	return target
 }
 
 // drain blocks until this worker has no queued or in-flight frames.

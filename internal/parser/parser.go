@@ -230,6 +230,89 @@ func copyWindow(dst, data []byte, off int) {
 	}
 }
 
+// Program is an Entry compiled to its valid actions with the container
+// references pre-resolved: the batched path runs only the configured
+// extractions/writebacks and pays no per-action validity or range
+// checks. A Program is immutable after Compile and safe for concurrent
+// use.
+type Program struct {
+	steps []progStep
+}
+
+// progStep is one compiled parse/deparse action. Entries are validated
+// at installation (Entry.Validate), so typ/idx are in range and typ is
+// never TypeMeta.
+type progStep struct {
+	off uint8
+	typ phv.ContainerType
+	idx uint8
+}
+
+// Compile flattens the entry's valid actions into a Program.
+func (e *Entry) Compile() Program {
+	var pr Program
+	for _, a := range e.Actions {
+		if !a.Valid {
+			continue
+		}
+		pr.steps = append(pr.steps, progStep{off: a.Offset, typ: a.Dest.Type, idx: a.Dest.Index})
+	}
+	return pr
+}
+
+// container returns the referenced container's backing bytes. The step
+// was validated at installation, so no range checks are repeated here.
+func (st *progStep) container(v *phv.PHV) []byte {
+	switch st.typ {
+	case phv.Type2B:
+		return v.C2[st.idx][:]
+	case phv.Type4B:
+		return v.C4[st.idx][:]
+	case phv.Type6B:
+		return v.C6[st.idx][:]
+	}
+	return v.Meta[:]
+}
+
+// Parse is ParseWith over the compiled program.
+func (pr *Program) Parse(data []byte, v *phv.PHV) error {
+	v.Zero()
+	if len(data) > 0xffff {
+		return fmt.Errorf("parser: packet length %d exceeds 16-bit metadata field", len(data))
+	}
+	v.SetPacketLen(uint16(len(data)))
+	for i := range pr.steps {
+		st := &pr.steps[i]
+		copyWindow(st.container(v), data, int(st.off))
+	}
+	return nil
+}
+
+// Deparse is DeparseWith over the compiled program: it writes each
+// configured container back into data at its offset, in place.
+//
+// Aliasing guarantee: Deparse only ever writes bytes of data inside the
+// configured [offset, offset+width) windows, reads exclusively from the
+// PHV (never from data), and truncates writes past the end of data — so
+// data may alias the very frame the PHV was parsed from. This is what
+// makes the engine's zero-copy mode sound: deparsing into the submitted
+// buffer is byte-identical to deparsing into a fresh copy of it.
+func (pr *Program) Deparse(data []byte, v *phv.PHV) {
+	for i := range pr.steps {
+		st := &pr.steps[i]
+		src := st.container(v)
+		off := int(st.off)
+		n := len(src)
+		if off >= len(data) {
+			continue
+		}
+		if off+n > len(data) {
+			n = len(data) - off
+		}
+		copy(data[off:off+n], src[:n])
+	}
+}
+
 // Deparser writes modified PHV containers back into the packet. Its table
 // format is identical to the parser's and is likewise indexed by module ID
 // (§3.1: "The format of the deparser table is identical to the parser

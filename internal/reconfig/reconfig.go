@@ -392,6 +392,79 @@ func (f *Filter) Classify(data []byte, numParsers int) ClassifyResult {
 	return res
 }
 
+// ClassifyScope batches the filter's side effects — per-verdict
+// counters and the round-robin buffer/parser assignment — across one
+// batch of frames, so the per-frame path performs no atomic operations.
+// Use Filter.BeginBatch to initialize one, ClassifyBatched per frame,
+// and Filter.CommitBatch once at the end. A scope must only be used by
+// one goroutine, while no other classifier runs on the same filter
+// (Pipeline.ProcessBatch holds the pipeline lock, which serializes it
+// with the synchronous Process path).
+type ClassifyScope struct {
+	counts [5]uint32
+	base   uint32 // rrBuffer/rrParser value at BeginBatch
+	data   uint32 // data-frame verdicts issued in this scope
+}
+
+// BeginBatch resets the scope against the filter's current round-robin
+// position. The two round-robin registers advance in lockstep on every
+// classification path, so one base covers both.
+func (f *Filter) BeginBatch(s *ClassifyScope) {
+	*s = ClassifyScope{base: f.rrBuffer.Load()}
+}
+
+// ClassifyBatched is Classify with the counter and round-robin updates
+// deferred into s; the sequence of verdicts, buffer tags, and parser
+// numbers is identical to per-frame Classify calls.
+func (f *Filter) ClassifyBatched(data []byte, numParsers int, s *ClassifyScope) ClassifyResult {
+	var res ClassifyResult
+	if IsReconfigFrame(data) {
+		res.Verdict = VerdictDropReconfig
+		s.counts[VerdictDropReconfig]++
+		return res
+	}
+	vid, err := parserVLANID(data)
+	if err != nil {
+		if f.passUntagged {
+			res.Verdict = VerdictControl
+		} else {
+			res.Verdict = VerdictDropNoVLAN
+		}
+		s.counts[res.Verdict]++
+		return res
+	}
+	res.ModuleID = vid
+	if f.bitmap.Load()&(1<<(vid&31)) != 0 {
+		res.Verdict = VerdictDropUpdating
+		s.counts[VerdictDropUpdating]++
+		return res
+	}
+	res.Verdict = VerdictData
+	seq := s.base + s.data
+	s.data++
+	res.BufferTag = uint8(seq) & 3
+	if numParsers < 1 {
+		numParsers = 1
+	}
+	res.ParserNum = uint8(seq % uint32(numParsers))
+	s.counts[VerdictData]++
+	return res
+}
+
+// CommitBatch publishes the scope's accumulated counters and advances
+// the round-robin registers by the number of data frames classified.
+func (f *Filter) CommitBatch(s *ClassifyScope) {
+	for v, n := range s.counts {
+		if n > 0 {
+			f.counts[v].Add(uint64(n))
+		}
+	}
+	if s.data > 0 {
+		f.rrBuffer.Add(s.data)
+		f.rrParser.Add(s.data)
+	}
+}
+
 // VerdictCount returns how many frames received the verdict.
 func (f *Filter) VerdictCount(v Verdict) uint64 {
 	if int(v) >= len(f.counts) {

@@ -183,31 +183,40 @@ func (e KeyExtractEntry) Validate() error {
 }
 
 // ExtractKey builds the padded 193-bit lookup key from the PHV: container
-// concatenation plus the predicate bit. The copies are written out with
-// constant offsets so the compiler lowers them to direct loads/stores on
-// the per-packet path.
+// concatenation plus the predicate bit.
 func (e KeyExtractEntry) ExtractKey(p *phv.PHV) (tables.Key, error) {
 	var k tables.Key
+	err := e.ExtractKeyInto(p, &k)
+	return k, err
+}
+
+// ExtractKeyInto is ExtractKey writing through k — the per-packet path,
+// where returning 25-byte keys by value costs a stack copy per call.
+// The container copies are written at constant offsets so the compiler
+// lowers them to direct loads/stores.
+func (e *KeyExtractEntry) ExtractKeyInto(p *phv.PHV, k *tables.Key) error {
 	*(*[phv.Size6B]byte)(k[0:]) = p.C6[e.C6[0]&0x7]
 	*(*[phv.Size6B]byte)(k[6:]) = p.C6[e.C6[1]&0x7]
 	*(*[phv.Size4B]byte)(k[12:]) = p.C4[e.C4[0]&0x7]
 	*(*[phv.Size4B]byte)(k[16:]) = p.C4[e.C4[1]&0x7]
 	*(*[phv.Size2B]byte)(k[20:]) = p.C2[e.C2[0]&0x7]
 	*(*[phv.Size2B]byte)(k[22:]) = p.C2[e.C2[1]&0x7]
+	k[24] = 0
 
-	pred := false
 	if e.PredOp != PredNone {
 		av, err := e.PredA.value(p)
 		if err != nil {
-			return k, err
+			return err
 		}
 		bv, err := e.PredB.value(p)
 		if err != nil {
-			return k, err
+			return err
 		}
-		pred = e.PredOp.Eval(av, bv)
+		if e.PredOp.Eval(av, bv) {
+			k[24] = 0x01
+		}
 	}
-	return k.WithPredicate(pred), nil
+	return nil
 }
 
 // Stage is one match-action stage with Menshen's isolation primitives.
@@ -328,6 +337,19 @@ type View struct {
 	// the module's own entry count.
 	CAM          []tables.CAMEntry
 	CamLo, CamHi int
+	// match is the module's precompiled candidate list: its valid CAM
+	// entries (in address order, so ternary priority is preserved) with
+	// the per-packet key masking and ternary compare fused into one
+	// (mask, want) word test — see tables.CAMEntry.MatchWords. The
+	// per-packet match therefore never copies a key and performs four
+	// AND+compare word operations per candidate.
+	match []viewMatch
+}
+
+// viewMatch is one precompiled CAM candidate of a View.
+type viewMatch struct {
+	mask, want tables.KeyWords
+	addr       int32
 }
 
 // ViewFor resolves the module's configuration in this stage.
@@ -358,6 +380,18 @@ func (s *Stage) ViewFor(modIdx int) View {
 		lo, hi = 0, len(v.CAM)
 	}
 	v.CamLo, v.CamHi = lo, hi
+	// Precompile the candidate list: only the module's own valid entries
+	// can ever match (Matches checks ModID exactly), so the per-packet
+	// scan is bounded by the module's entry count and skips the
+	// validity/module checks entirely.
+	for a := lo; a < hi; a++ {
+		e := &v.CAM[a]
+		if !e.Valid || e.ModID != uint16(modIdx)&tables.MaxModuleID {
+			continue
+		}
+		m, w := e.MatchWords(&v.Mask, v.HasMask)
+		v.match = append(v.match, viewMatch{mask: m, want: w, addr: int32(a)})
+	}
 	return v
 }
 
@@ -371,23 +405,24 @@ func (s *Stage) ProcessView(v *View, p *phv.PHV) (Result, error) {
 	}
 	res.Active = true
 
-	key, err := v.Entry.ExtractKey(p)
-	if err != nil {
+	var key tables.Key
+	if err := v.Entry.ExtractKeyInto(p, &key); err != nil {
 		return res, err
 	}
-	if v.HasMask {
-		key = key.Masked(v.Mask)
-	}
+	kw := key.Words()
 
-	var addr int
-	var hit bool
-	for a := v.CamLo; a < v.CamHi; a++ {
-		if v.CAM[a].Matches(key, p.ModuleID) {
-			addr, hit = a, true
+	addr := -1
+	for i := range v.match {
+		m := &v.match[i]
+		if kw[0]&m.mask[0] == m.want[0] &&
+			kw[1]&m.mask[1] == m.want[1] &&
+			kw[2]&m.mask[2] == m.want[2] &&
+			kw[3]&m.mask[3] == m.want[3] {
+			addr = int(m.addr)
 			break
 		}
 	}
-	if !hit {
+	if addr < 0 {
 		return res, nil
 	}
 	res.Hit = true

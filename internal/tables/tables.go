@@ -82,6 +82,54 @@ func (k Key) Masked(mask Key) Key {
 	return out
 }
 
+// KeyWords is a Key packed as four machine words for the word-wise hot
+// path: words 0-2 are little-endian loads of bytes 0-23 and word 3 holds
+// the tail byte (predicate bit included). Packing the 205-bit compare
+// into register-width operations is the software stand-in for the CAM's
+// single-cycle parallel compare, without moving the 25-byte key around.
+type KeyWords [4]uint64
+
+// Words packs the key into its word form. Taking the receiver by
+// pointer keeps the per-packet path free of 25-byte copies.
+func (k *Key) Words() KeyWords {
+	return KeyWords{
+		binary.LittleEndian.Uint64(k[0:]),
+		binary.LittleEndian.Uint64(k[8:]),
+		binary.LittleEndian.Uint64(k[16:]),
+		uint64(k[24]),
+	}
+}
+
+// MatchWords precompiles the entry into the (mask, want) word pair of
+// the fused compare: a key k matches the entry under the module key
+// mask moduleMask exactly when k.Words()[i] & mask[i] == want[i] for
+// every word. This folds the per-packet key masking (Key.Masked) and
+// the per-entry ternary compare (Matches) into one AND+compare per
+// word:
+//
+//	(k & mMask ^ e.Key) & e.Mask == 0
+//	⇔ (k & (mMask & e.Mask)) == (e.Key & e.Mask)   when tested word-wise
+//
+// (entry key bits outside mMask make want ⊄ mask, which correctly can
+// never match — identical to the unfused compare). Pass hasMask=false
+// when the module installs no key mask. The module ID does not
+// participate: callers pre-filter entries by module.
+func (e *CAMEntry) MatchWords(moduleMask *Key, hasMask bool) (mask, want KeyWords) {
+	kw := e.Key.Words()
+	mw := e.Mask.Words()
+	for i := range want {
+		want[i] = kw[i] & mw[i]
+		mask[i] = mw[i]
+	}
+	if hasMask {
+		mm := moduleMask.Words()
+		for i := range mask {
+			mask[i] &= mm[i]
+		}
+	}
+	return mask, want
+}
+
 // FullMask is the all-ones key mask.
 func FullMask() Key {
 	var m Key

@@ -38,6 +38,12 @@ type EngineConfig struct {
 	// DropOnFull tail-drops at full rings instead of blocking the
 	// submitter.
 	DropOnFull bool
+	// FixedBatch disables adaptive batch sizing: workers always service
+	// up to BatchSize frames per batch. By default batch size adapts to
+	// ring occupancy — toward BatchSize under backlog, toward 1 when
+	// idle — trading amortization for latency only when there is a
+	// backlog to amortize over.
+	FixedBatch bool
 	// OnBatch, when set, observes every processed batch on the worker
 	// goroutine; results are valid only during the callback.
 	OnBatch func(workerID int, tenant uint16, results []EngineResult)
@@ -67,6 +73,7 @@ func (d *Device) NewEngine(cfg EngineConfig) (*Engine, error) {
 		QueueDepth: cfg.QueueDepth,
 		BatchSize:  cfg.BatchSize,
 		DropOnFull: cfg.DropOnFull,
+		FixedBatch: cfg.FixedBatch,
 		Geometry:   d.pipe.Geometry,
 		Options:    d.pipe.Options,
 		Modules:    specs,
@@ -82,13 +89,35 @@ func (d *Device) NewEngine(cfg EngineConfig) (*Engine, error) {
 func (e *Engine) Workers() int { return e.eng.Workers() }
 
 // Submit steers one frame to its shard; it reports false when the frame
-// was rate-limited or tail-dropped. The engine owns the buffer until
-// the frame's batch completes.
+// was rate-limited or tail-dropped. The frame is copied into an
+// engine-owned pooled buffer (the only copy on its whole path — the
+// pipeline deparses in place), so the caller keeps its own buffer and
+// may reuse it immediately. For copy-free submission see SubmitOwned.
 func (e *Engine) Submit(frame []byte) (bool, error) { return e.eng.Submit(frame) }
 
 // SubmitBatch steers and enqueues a batch of frames, returning how many
-// were accepted. Safe for concurrent producers.
+// were accepted. Safe for concurrent producers. Copy semantics are
+// Submit's.
 func (e *Engine) SubmitBatch(frames [][]byte) (int, error) { return e.eng.SubmitBatch(frames) }
+
+// SubmitOwned is the zero-copy submit: the engine takes ownership of
+// the buffer itself — accepted or not — and deparses the processed
+// frame directly into it. The caller must not touch the buffer after
+// the call. Use Borrow to obtain recycled buffers; a steady-state
+// Borrow/SubmitOwned cycle copies and allocates nothing.
+func (e *Engine) SubmitOwned(frame []byte) (bool, error) { return e.eng.SubmitOwned(frame) }
+
+// SubmitBatchOwned is the batch form of SubmitOwned.
+func (e *Engine) SubmitBatchOwned(frames [][]byte) (int, error) {
+	return e.eng.SubmitBatchOwned(frames)
+}
+
+// Borrow returns an n-byte buffer from the engine's size-classed pool
+// for use with SubmitOwned.
+func (e *Engine) Borrow(n int) []byte { return e.eng.Borrow(n) }
+
+// Release returns a borrowed buffer to the pool without submitting it.
+func (e *Engine) Release(buf []byte) { e.eng.Release(buf) }
 
 // Drain blocks until all queued frames are processed.
 func (e *Engine) Drain() { e.eng.Drain() }
@@ -98,6 +127,10 @@ func (e *Engine) Close() error { return e.eng.Close() }
 
 // Stats snapshots per-tenant and per-worker telemetry.
 func (e *Engine) Stats() EngineStats { return e.eng.Stats() }
+
+// StatsInto snapshots telemetry into st, reusing its map and slices so
+// a polling loop pays no per-snapshot allocations.
+func (e *Engine) StatsInto(st *EngineStats) { e.eng.StatsInto(st) }
 
 // SetTenantLimit installs a per-tenant token-bucket allowance (packets
 // and bits per second; zero disables a dimension) enforced at submit.

@@ -1,0 +1,102 @@
+package menshen
+
+// Zero-copy hot-path regression tests: the in-place batched pipeline
+// must neither allocate in steady state nor diverge from the copying
+// path's bytes.
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/p4progs"
+	"repro/internal/trafficgen"
+)
+
+func mustProgram(t *testing.T, name string) string {
+	t.Helper()
+	p, err := p4progs.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.Source()
+}
+
+// batchFixture returns a CALC-loaded device plus a batch of frames and
+// a result slice sized for it.
+func batchFixture(t *testing.T, n int) (*Device, [][]byte, []core.BatchResult) {
+	t.Helper()
+	dev := NewDevice()
+	calc := mustProgram(t, "CALC")
+	if _, err := dev.LoadModule(calc, 1); err != nil {
+		t.Fatal(err)
+	}
+	gen := trafficgen.DefaultGen("CALC", 1, 0, 16, trafficgen.NewPRNG(7))
+	frames := make([][]byte, n)
+	for i := range frames {
+		frames[i] = gen(i)
+	}
+	return dev, frames, make([]core.BatchResult, n)
+}
+
+// TestProcessBatchInPlaceZeroAlloc pins the acceptance property: after
+// the first batch resolves the module's cached views, the in-place
+// batched path performs zero allocations per batch.
+func TestProcessBatchInPlaceZeroAlloc(t *testing.T) {
+	dev, frames, res := batchFixture(t, 32)
+	pipe := dev.Pipeline()
+	// Warm up: resolve module views, stats blocks, and parse programs.
+	if err := pipe.ProcessBatchInPlace(frames, 0, res); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := pipe.ProcessBatchInPlace(frames, 0, res); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ProcessBatchInPlace allocates %.1f times per batch; want 0", allocs)
+	}
+	// The copying path is allowed its recycled result buffers, but must
+	// also be allocation-free once they exist.
+	if err := pipe.ProcessBatch(frames, 0, res); err != nil {
+		t.Fatal(err)
+	}
+	allocs = testing.AllocsPerRun(100, func() {
+		if err := pipe.ProcessBatch(frames, 0, res); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ProcessBatch allocates %.1f times per batch; want 0", allocs)
+	}
+}
+
+// TestProcessBatchInPlaceAliasesInput checks the in-place contract:
+// res[i].Data is the submitted buffer itself, with bytes identical to
+// what the copying path produces.
+func TestProcessBatchInPlaceAliasesInput(t *testing.T) {
+	dev, frames, res := batchFixture(t, 8)
+	refDev, refFrames, refRes := batchFixture(t, 8)
+
+	if err := refDev.Pipeline().ProcessBatch(refFrames, 0, refRes); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Pipeline().ProcessBatchInPlace(frames, 0, res); err != nil {
+		t.Fatal(err)
+	}
+	for i := range res {
+		if res[i].Dropped || refRes[i].Dropped {
+			t.Fatalf("frame %d dropped (in-place %v, copy %v)", i, res[i].Dropped, refRes[i].Dropped)
+		}
+		if &res[i].Data[0] != &frames[i][0] {
+			t.Errorf("frame %d: in-place Data does not alias the submitted buffer", i)
+		}
+		if !bytes.Equal(res[i].Data, refRes[i].Data) {
+			t.Errorf("frame %d: in-place bytes diverge from copying path", i)
+		}
+		if &refRes[i].Data[0] == &refFrames[i][0] {
+			t.Errorf("frame %d: copying path unexpectedly aliases its input", i)
+		}
+	}
+}
