@@ -340,6 +340,53 @@ func BenchmarkEngineThroughput(b *testing.B) {
 		}
 	}
 
+	// The §3.5 egress-scheduled path: every processed frame is ranked
+	// (start-time fair queueing) and drained through the per-worker
+	// push-out PIFO before delivery. With a work-conserving quantum and
+	// one tenant nothing is ever shed, so this isolates the per-frame
+	// scheduling overhead against the plain workers=4/batch=32 run.
+	b.Run("workers=4/batch=32/egress", func(b *testing.B) {
+		const batch = 32
+		dev := newLoadedDevice(b, PlatformCorundumOptimized)
+		eng, err := dev.NewEngine(EngineConfig{
+			Workers:       4,
+			BatchSize:     batch,
+			QueueDepth:    4096,
+			EgressWeights: map[uint16]float64{1: 1},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pool := newPool()
+		sub := make([][]byte, 0, batch)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sub = append(sub, pool[i%poolSize])
+			if len(sub) == batch {
+				if _, err := eng.SubmitBatch(sub); err != nil {
+					b.Fatal(err)
+				}
+				sub = sub[:0]
+			}
+		}
+		if len(sub) > 0 {
+			if _, err := eng.SubmitBatch(sub); err != nil {
+				b.Fatal(err)
+			}
+		}
+		eng.Drain()
+		b.StopTimer()
+		tot := eng.Stats().Totals()
+		if tot.EgressDelivered != uint64(b.N) {
+			b.Fatalf("egress delivered %d of %d submitted (%d shed)",
+				tot.EgressDelivered, b.N, tot.EgressDropped)
+		}
+		if err := eng.Close(); err != nil {
+			b.Fatal(err)
+		}
+	})
+
 	// The end-to-end zero-copy path: frames staged into borrowed pool
 	// buffers and relinquished with SubmitBatchOwned; the engine
 	// deparses in place and recycles the buffers after delivery.

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -40,6 +41,10 @@ func main() {
 	liveReconfig := flag.Int("live-reconfig", 0,
 		"live unload+reload the last tenant this many times mid-run, while other tenants keep flowing")
 	progress := flag.Int("progress", 0, "print a progress line every N submitted frames (0 = off)")
+	egressWeights := flag.String("egress-weights", "",
+		"comma-separated egress WFQ weights, one per -modules entry (e.g. 3,1,1): enables §3.5 egress scheduling and runs the equal-offered-load contention scenario")
+	egressQueue := flag.Int("egress-queue", 128, "per-worker egress PIFO bound in frames (push-out)")
+	egressQuantum := flag.Int("egress-quantum", 8, "frames delivered per worker service cycle (the modeled TX link)")
 	flag.Parse()
 
 	var kind menshen.PlatformKind
@@ -82,11 +87,34 @@ func main() {
 		sources = append(sources, p.Source())
 	}
 
+	// -egress-weights turns on the §3.5 contention scenario: every
+	// tenant offers the same saturating load, the per-worker egress
+	// scheduler arbitrates a TX link of -egress-quantum frames per
+	// service cycle, and the delivered shares should land on the
+	// configured weights rather than on the (equal) offered load.
+	weightByID := map[uint16]float64{}
+	if *egressWeights != "" {
+		parts := strings.Split(*egressWeights, ",")
+		if len(parts) != len(loads) {
+			fatal(fmt.Errorf("-egress-weights has %d entries for %d modules", len(parts), len(loads)))
+		}
+		for i, p := range parts {
+			w, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil || w <= 0 {
+				fatal(fmt.Errorf("bad egress weight %q", p))
+			}
+			weightByID[loads[i].ModuleID] = w
+		}
+	}
+
 	eng, err := dev.NewEngine(menshen.EngineConfig{
-		Workers:    *workers,
-		BatchSize:  *batch,
-		QueueDepth: *queue,
-		DropOnFull: *drop,
+		Workers:          *workers,
+		BatchSize:        *batch,
+		QueueDepth:       *queue,
+		DropOnFull:       *drop,
+		EgressWeights:    weightByID,
+		EgressQueueLimit: *egressQueue,
+		EgressQuantum:    *egressQuantum,
 	})
 	if err != nil {
 		fatal(err)
@@ -117,7 +145,12 @@ func main() {
 	reconfigsDone := 0
 	var lastGen uint64
 
-	sc := trafficgen.NewScenario(*seed, loads...)
+	var sc *trafficgen.Scenario
+	if len(weightByID) > 0 {
+		sc = trafficgen.ContentionScenario(*seed, *size, loads...)
+	} else {
+		sc = trafficgen.NewScenario(*seed, loads...)
+	}
 	var frames [][]byte
 	// One snapshot reused across every poll: StatsInto refills its map
 	// and slices in place, so the serve loop's telemetry reads allocate
@@ -209,6 +242,20 @@ func main() {
 		fmt.Printf("worker %2d: %9d frames in %8d batches (avg %5.1f/batch, target %2d)  p50 %8v  p99 %8v  busy %v\n",
 			i, ws.Frames, ws.Batches, ws.AvgBatch(), ws.BatchTarget,
 			ws.P50BatchLatency, ws.P99BatchLatency, ws.Busy.Round(time.Millisecond))
+	}
+
+	if len(weightByID) > 0 {
+		fmt.Printf("\n--- egress scheduling (§3.5) ---\n")
+		var weightSum float64
+		for _, w := range weightByID {
+			weightSum += w
+		}
+		for _, id := range st.TenantIDs() {
+			ts := st.Tenants[id]
+			fmt.Printf("tenant %2d: weight %4.1f  queued %9d  shed %9d  delivered %9d  share %.3f (weight share %.3f)\n",
+				id, weightByID[id], ts.EgressQueued, ts.EgressDropped, ts.EgressDelivered,
+				st.EgressShare(id), weightByID[id]/weightSum)
+		}
 	}
 
 	fmt.Printf("\n--- zero-copy ---\n")

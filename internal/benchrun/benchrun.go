@@ -93,13 +93,20 @@ func SendLoop() Result {
 
 // Engine measures the batched engine at the given configuration. With
 // owned set, frames are staged into borrowed buffers and submitted with
-// SubmitBatchOwned — the end-to-end zero-copy path.
-func Engine(name string, workers, batch int, owned bool) Result {
+// SubmitBatchOwned — the end-to-end zero-copy path. With egress set,
+// the §3.5 egress scheduler is enabled (single tenant, work-conserving
+// quantum), isolating the per-frame rank+PIFO overhead.
+func Engine(name string, workers, batch int, owned, egress bool) Result {
 	dev := loadedDevice()
+	var weights map[uint16]float64
+	if egress {
+		weights = map[uint16]float64{1: 1}
+	}
 	eng, err := dev.NewEngine(menshen.EngineConfig{
-		Workers:    workers,
-		BatchSize:  batch,
-		QueueDepth: 4096,
+		Workers:       workers,
+		BatchSize:     batch,
+		QueueDepth:    4096,
+		EgressWeights: weights,
 	})
 	if err != nil {
 		panic(err)
@@ -143,13 +150,15 @@ func submit(b *testing.B, eng *menshen.Engine, sub [][]byte, owned bool) {
 }
 
 // Suite runs the standard trajectory: the SendLoop baseline, the
-// engine at 1 and 4 workers with batch 32, and the zero-copy owned
-// variant of the 4-worker configuration.
+// engine at 1 and 4 workers with batch 32, the zero-copy owned
+// variant, and the egress-scheduled variant of the 4-worker
+// configuration.
 func Suite() []Result {
 	return []Result{
 		SendLoop(),
-		Engine("workers=1/batch=32", 1, 32, false),
-		Engine("workers=4/batch=32", 4, 32, false),
-		Engine("workers=4/batch=32/owned", 4, 32, true),
+		Engine("workers=1/batch=32", 1, 32, false, false),
+		Engine("workers=4/batch=32", 4, 32, false, false),
+		Engine("workers=4/batch=32/owned", 4, 32, true, false),
+		Engine("workers=4/batch=32/egress", 4, 32, false, true),
 	}
 }

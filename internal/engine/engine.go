@@ -90,7 +90,33 @@ type Config struct {
 	// OnBatch, when set, observes every processed batch on the worker
 	// goroutine. Results (including their Data buffers) are only valid
 	// for the duration of the callback — copy anything retained.
+	//
+	// With egress scheduling active (see EgressWeights) OnBatch instead
+	// observes frames as the egress scheduler drains them: in weighted
+	// fair rank order, forwarded frames only (pipeline drops are
+	// counted in Stats but not delivered), still grouped into per-tenant
+	// runs and still under the same buffer-lifetime rule.
 	OnBatch func(workerID int, tenant uint16, results []core.BatchResult)
+
+	// EgressWeights enables §3.5 egress scheduling: processed frames
+	// pass through a per-worker WFQ+PIFO stage before delivery, so
+	// inter-tenant output bandwidth follows these weights regardless of
+	// offered load. Tenants absent from the map are scheduled at weight
+	// 1. Leave nil (and never call SetEgressWeight) to bypass the stage
+	// entirely — the zero-overhead default.
+	EgressWeights map[uint16]float64
+	// EgressQueueLimit bounds each worker's egress PIFO in frames
+	// (default 4*BatchSize). The bound uses push-out, not tail drop:
+	// overflow discards the worst-ranked queued frame, which is what
+	// keeps the queue's composition — and the drained shares — at the
+	// configured weights under overload.
+	EgressQueueLimit int
+	// EgressQuantum caps how many frames a worker delivers per service
+	// cycle (default BatchSize, i.e. one batch out per batch in —
+	// effectively work-conserving). Set it below BatchSize to model a
+	// TX link slower than the pipeline: the egress queue then backs up
+	// and the weighted shares become visible in the delivered stream.
+	EgressQuantum int
 }
 
 // Engine is a running dataplane: create with New, feed with Submit or
@@ -131,6 +157,12 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Options.NumParsers == 0 {
 		cfg.Options = core.Optimized()
 	}
+	if cfg.EgressQueueLimit <= 0 {
+		cfg.EgressQueueLimit = 4 * cfg.BatchSize
+	}
+	if cfg.EgressQuantum <= 0 {
+		cfg.EgressQuantum = cfg.BatchSize
+	}
 	e := &Engine{
 		cfg:     cfg,
 		tel:     newTelemetry(),
@@ -151,7 +183,16 @@ func New(cfg Config) (*Engine, error) {
 				return nil, fmt.Errorf("engine: worker %d: replaying module %d: %w", i, m.Config.ModuleID, err)
 			}
 		}
-		e.workers = append(e.workers, newWorker(i, e, pipe))
+		w := newWorker(i, e, pipe)
+		if len(cfg.EgressWeights) > 0 {
+			w.ensureEgress()
+			for tenant, weight := range cfg.EgressWeights {
+				if err := w.egress.SetWeight(tenant, weight); err != nil {
+					return nil, fmt.Errorf("engine: tenant %d: %w", tenant, err)
+				}
+			}
+		}
+		e.workers = append(e.workers, w)
 	}
 	for _, w := range e.workers {
 		go w.run()

@@ -1,0 +1,8 @@
+//go:build race
+
+package engine_test
+
+// raceEnabled reports that the race detector is active: it defeats
+// sync.Pool reuse (parked scratch is dropped aggressively), so strict
+// zero-allocation pins don't hold under -race.
+const raceEnabled = true

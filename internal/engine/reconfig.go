@@ -28,6 +28,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 
@@ -56,6 +57,12 @@ const (
 	// opUpdating sets or clears the shard packet filter's update bit for
 	// a tenant (the §4.1 drop-during-update semantics).
 	opUpdating
+	// opEgressWeight sets (weight > 0) or clears (weight == 0) a
+	// tenant's egress WFQ weight on the shard, creating the shard's
+	// egress scheduler on first use. Applied at batch boundaries like
+	// every other control operation, so a weight change never lands
+	// mid-batch.
+	opEgressWeight
 	// opBarrier does nothing except advance the shard's applied
 	// generation (an empty operation still quiesces).
 	opBarrier
@@ -66,7 +73,8 @@ type shardOp struct {
 	gen    uint64
 	kind   opKind
 	tenant uint16
-	flag   bool // opUpdating: set (true) or clear (false)
+	flag   bool    // opUpdating: set (true) or clear (false)
+	weight float64 // opEgressWeight: the new weight (0 clears)
 	cmd    reconfig.Command
 	spec   *ModuleSpec // opPartition (read-only, shared across shards)
 }
@@ -172,14 +180,42 @@ func (e *Engine) LoadModuleLive(spec ModuleSpec) (uint64, error) {
 
 // UnloadModuleLive clears a module from every running shard (tables,
 // parser/deparser entries, and stateful segments zeroed), fenced the
-// same way as LoadModuleLive.
+// same way as LoadModuleLive. Scheduler state tied to the tenant is
+// pruned too — its egress weight and virtual-finish time on every
+// shard, and its ingress rate limit (buckets and drop counter) at the
+// engine edge — so a later re-load starts from a clean slate instead
+// of inheriting a stale virtual finish time or a drained bucket from
+// the tenant's previous life.
 func (e *Engine) UnloadModuleLive(moduleID uint16) (uint64, error) {
-	return e.issue(func(gen uint64) []shardOp {
+	gen, err := e.issue(func(gen uint64) []shardOp {
 		return []shardOp{
 			{gen: gen, kind: opPause, tenant: moduleID},
 			{gen: gen, kind: opUnload, tenant: moduleID},
+			{gen: gen, kind: opEgressWeight, tenant: moduleID, weight: 0},
 			{gen: gen, kind: opResume, tenant: moduleID},
 		}
+	})
+	if err == nil {
+		e.limiter.ClearLimit(moduleID)
+	}
+	return gen, err
+}
+
+// SetEgressWeight configures a tenant's §3.5 egress WFQ weight on
+// every running worker shard, through the same generation-tagged
+// control queue as module reconfiguration: each shard applies it at a
+// batch boundary, and AwaitQuiesce on the returned generation
+// guarantees every shard schedules with the new weight. A weight of 0
+// clears the tenant (back to the implicit weight of 1, with its
+// virtual-finish state pruned). The first weight ever set switches the
+// engine's delivery path into egress-scheduling mode (see
+// Config.EgressWeights for the semantics).
+func (e *Engine) SetEgressWeight(tenant uint16, weight float64) (uint64, error) {
+	if weight < 0 || math.IsInf(weight, 0) || math.IsNaN(weight) {
+		return 0, fmt.Errorf("engine: egress weight must be non-negative and finite, got %v", weight)
+	}
+	return e.issue(func(gen uint64) []shardOp {
+		return []shardOp{{gen: gen, kind: opEgressWeight, tenant: tenant, weight: weight}}
 	})
 }
 
@@ -326,6 +362,13 @@ func (w *worker) drainOpsLocked(ops []shardOp) {
 			}
 		case opUpdating:
 			w.pipe.Filter.SetUpdating(op.tenant, op.flag)
+		case opEgressWeight:
+			if op.weight > 0 {
+				w.ensureEgress()
+				err = w.egress.SetWeight(op.tenant, op.weight)
+			} else if w.egress != nil {
+				w.egress.ClearTenant(op.tenant)
+			}
 		case opBarrier:
 		}
 		if err != nil {

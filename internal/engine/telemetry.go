@@ -20,6 +20,15 @@ type tenantCounters struct {
 	Processed     atomic.Uint64 // frames the pipeline forwarded
 	PipelineDrops atomic.Uint64 // frames the pipeline discarded
 	Bytes         atomic.Uint64 // forwarded bytes
+
+	// Egress-scheduling accounting (zero unless egress weights are
+	// configured): frames entering the per-worker WFQ+PIFO stage,
+	// frames shed by it (push-out displacement or full-queue reject),
+	// and frames/bytes actually delivered in rank order.
+	EgressQueued    atomic.Uint64
+	EgressDropped   atomic.Uint64
+	EgressDelivered atomic.Uint64
+	EgressBytes     atomic.Uint64
 }
 
 // workerCounters accumulates one worker's service accounting. Batch
@@ -125,10 +134,23 @@ type TenantStats struct {
 	Processed     uint64
 	PipelineDrops uint64
 	Bytes         uint64
+
+	// Egress scheduling (all zero when no egress weights are set):
+	// EgressQueued counts the tenant's frames admitted to the §3.5
+	// egress stage, EgressDropped those it shed (push-out or reject),
+	// and EgressDelivered/EgressBytes what was actually transmitted in
+	// weighted fair order. Note Processed counts pipeline output — a
+	// frame shed at egress appears in both Processed and EgressDropped.
+	EgressQueued    uint64
+	EgressDropped   uint64
+	EgressDelivered uint64
+	EgressBytes     uint64
 }
 
 // Dropped is the tenant's total drop count across all causes.
-func (s TenantStats) Dropped() uint64 { return s.RateLimited + s.QueueFull + s.PipelineDrops }
+func (s TenantStats) Dropped() uint64 {
+	return s.RateLimited + s.QueueFull + s.PipelineDrops + s.EgressDropped
+}
 
 // WorkerStats is a point-in-time copy of one worker's counters.
 type WorkerStats struct {
@@ -225,8 +247,27 @@ func (s Stats) Totals() TenantStats {
 		tot.Processed += ts.Processed
 		tot.PipelineDrops += ts.PipelineDrops
 		tot.Bytes += ts.Bytes
+		tot.EgressQueued += ts.EgressQueued
+		tot.EgressDropped += ts.EgressDropped
+		tot.EgressDelivered += ts.EgressDelivered
+		tot.EgressBytes += ts.EgressBytes
 	}
 	return tot
+}
+
+// EgressShare reports a tenant's achieved share of delivered egress
+// bytes, in [0, 1] — the quantity §3.5's weighted sharing is about.
+// It returns 0 when nothing has been delivered (egress scheduling off
+// or no traffic).
+func (s Stats) EgressShare(tenant uint16) float64 {
+	var total uint64
+	for _, ts := range s.Tenants {
+		total += ts.EgressBytes
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Tenants[tenant].EgressBytes) / float64(total)
 }
 
 // snapshotInto fills st, reusing its tenant map and worker slice when
@@ -246,12 +287,16 @@ func (t *telemetry) snapshotInto(st *Stats, workers []*worker, uptime time.Durat
 	t.mu.RLock()
 	for id, tc := range t.tenants {
 		st.Tenants[id] = TenantStats{
-			Submitted:     tc.Submitted.Load(),
-			RateLimited:   tc.RateLimited.Load(),
-			QueueFull:     tc.QueueFull.Load(),
-			Processed:     tc.Processed.Load(),
-			PipelineDrops: tc.PipelineDrops.Load(),
-			Bytes:         tc.Bytes.Load(),
+			Submitted:       tc.Submitted.Load(),
+			RateLimited:     tc.RateLimited.Load(),
+			QueueFull:       tc.QueueFull.Load(),
+			Processed:       tc.Processed.Load(),
+			PipelineDrops:   tc.PipelineDrops.Load(),
+			Bytes:           tc.Bytes.Load(),
+			EgressQueued:    tc.EgressQueued.Load(),
+			EgressDropped:   tc.EgressDropped.Load(),
+			EgressDelivered: tc.EgressDelivered.Load(),
+			EgressBytes:     tc.EgressBytes.Load(),
 		}
 	}
 	t.mu.RUnlock()

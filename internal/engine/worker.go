@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/sched"
 )
 
 // ring is a fixed-capacity FIFO of frames for one tenant on one worker.
@@ -67,6 +68,17 @@ type worker struct {
 	batch [][]byte
 	res   []core.BatchResult
 	stats workerCounters
+
+	// Egress scheduling (§3.5): when egress is non-nil, processed
+	// frames pass through a per-worker WFQ+PIFO stage between the
+	// pipeline and OnBatch delivery. The queue and its scratch are
+	// worker-goroutine-only; egBacklog mirrors the queue depth under
+	// w.mu so Drain/Close waiters can observe it. Frames in the queue
+	// outlive their batch: their pooled buffers are reclaimed when they
+	// are delivered (or displaced), not at the batch boundary.
+	egress    *sched.EgressQueue
+	egRun     []core.BatchResult // drain delivery scratch (one tenant run)
+	egBacklog int                // guarded by w.mu
 
 	// Adaptive batch sizing (worker goroutine only, except the atomic).
 	// ewma tracks ring occupancy in 1/16ths (fixed point); the service
@@ -175,7 +187,7 @@ func (w *worker) run() {
 	defer close(w.done)
 	for {
 		w.mu.Lock()
-		for len(w.ops) == 0 && w.pending-w.pausedPending == 0 && !w.closing {
+		for len(w.ops) == 0 && w.pending-w.pausedPending == 0 && w.egBacklog == 0 && !w.closing {
 			w.notEmpty.Wait()
 		}
 		if len(w.ops) > 0 {
@@ -189,7 +201,7 @@ func (w *worker) run() {
 			continue
 		}
 		if w.closing {
-			if w.pending == 0 {
+			if w.pending == 0 && w.egBacklog == 0 {
 				w.mu.Unlock()
 				return
 			}
@@ -201,6 +213,18 @@ func (w *worker) run() {
 		}
 		tenant, q := w.nextLocked()
 		if q == nil {
+			if w.egBacklog > 0 {
+				// No runnable RX work but scheduled frames are queued:
+				// keep the TX side moving, one quantum per pass, until
+				// the backlog is flushed (in rank order).
+				w.mu.Unlock()
+				w.egressDrain()
+				w.mu.Lock()
+				w.egBacklog = w.egress.Len()
+				w.mu.Unlock()
+				w.notFull.Broadcast()
+				continue
+			}
 			// Nothing runnable (only fenced frames); wait for ops/close.
 			w.mu.Unlock()
 			continue
@@ -258,20 +282,122 @@ func (w *worker) run() {
 		tc.Processed.Add(processed)
 		tc.Bytes.Add(bytes)
 		tc.PipelineDrops.Add(drops)
-		if cb := w.eng.cfg.OnBatch; cb != nil && err == nil {
-			cb(w.id, tenant, res)
+		if w.egress != nil && err == nil {
+			// Egress scheduling: forwarded frames enter the per-worker
+			// WFQ+PIFO instead of being delivered batch-order; one
+			// quantum drains (in rank order) per service cycle. Queued
+			// frames keep their buffers past the batch boundary —
+			// reclaimed on delivery or displacement, not here.
+			w.egressEnqueue(tenant, tc, res)
+			w.egressDrain()
+		} else {
+			if cb := w.eng.cfg.OnBatch; cb != nil && err == nil {
+				cb(w.id, tenant, res)
+			}
+			// Results were delivered (or the frames dropped): recycle the
+			// batch's buffers. This is the "result valid until the
+			// callback returns" lifetime boundary — res[i].Data aliases
+			// these buffers, which the pool may hand to the next batch.
+			w.eng.pool.putAll(w.batch)
 		}
-		// Results were delivered (or the frames dropped): recycle the
-		// batch's buffers. This is the "result valid until the
-		// callback returns" lifetime boundary — res[i].Data aliases
-		// these buffers, which the pool may hand to the next batch.
-		w.eng.pool.putAll(w.batch)
 
 		w.mu.Lock()
 		w.busy = false
+		if w.egress != nil {
+			w.egBacklog = w.egress.Len()
+		}
 		w.mu.Unlock()
 		w.notFull.Broadcast() // wake Drain waiters
 	}
+}
+
+// ensureEgress lazily creates the worker's egress scheduler (engine
+// construction, or the worker goroutine applying a weight op). Queued
+// egress frames extend the engine's worst-case in-flight buffer set,
+// so the pool's retention grows by the queue bound.
+func (w *worker) ensureEgress() {
+	if w.egress != nil {
+		return
+	}
+	w.egress = sched.NewEgressQueue(w.eng.cfg.EgressQueueLimit)
+	w.egRun = make([]core.BatchResult, 0, w.eng.cfg.EgressQuantum)
+	w.eng.pool.grow(w.eng.cfg.EgressQueueLimit)
+}
+
+// egressEnqueue pushes one processed batch's forwarded frames into the
+// egress scheduler. Pipeline-dropped frames recycle immediately; a
+// frame the queue rejects (full, worst-ranked) or displaces (push-out)
+// is counted as an egress drop for its tenant and its buffer reclaimed.
+// res[i].Data aliases w.batch[i] (the in-place contract), so the item's
+// Data doubles as the pooled buffer.
+func (w *worker) egressEnqueue(tenant uint16, tc *tenantCounters, res []core.BatchResult) {
+	var queued, rejected uint64
+	for i := range res {
+		if res[i].Dropped {
+			w.eng.pool.put(w.batch[i])
+			continue
+		}
+		ev, hasEv, ok := w.egress.Push(tenant, res[i].EgressPort, res[i].Data)
+		if !ok {
+			rejected++
+			w.eng.pool.put(w.batch[i])
+			continue
+		}
+		queued++
+		if hasEv {
+			w.eng.tel.tenant(ev.Tenant).EgressDropped.Add(1)
+			w.eng.pool.put(ev.Data)
+		}
+	}
+	tc.EgressQueued.Add(queued)
+	if rejected > 0 {
+		tc.EgressDropped.Add(rejected)
+	}
+}
+
+// egressDrain delivers up to one quantum of scheduled frames in rank
+// order, grouping consecutive same-tenant frames into one OnBatch call
+// (the callback's signature is per-tenant, like the batch path).
+// Buffers are reclaimed after each run's callback returns — the same
+// lifetime rule as unscheduled delivery.
+func (w *worker) egressDrain() {
+	var runTenant uint16
+	flush := func() {
+		if len(w.egRun) == 0 {
+			return
+		}
+		tc := w.eng.tel.tenant(runTenant)
+		var bytes uint64
+		for i := range w.egRun {
+			bytes += uint64(len(w.egRun[i].Data))
+		}
+		tc.EgressDelivered.Add(uint64(len(w.egRun)))
+		tc.EgressBytes.Add(bytes)
+		if cb := w.eng.cfg.OnBatch; cb != nil {
+			cb(w.id, runTenant, w.egRun)
+		}
+		for i := range w.egRun {
+			w.eng.pool.put(w.egRun[i].Data)
+			w.egRun[i].Data = nil
+		}
+		w.egRun = w.egRun[:0]
+	}
+	for n := 0; n < w.eng.cfg.EgressQuantum; n++ {
+		it, ok := w.egress.Pop()
+		if !ok {
+			break
+		}
+		if len(w.egRun) > 0 && it.Tenant != runTenant {
+			flush()
+		}
+		runTenant = it.Tenant
+		w.egRun = append(w.egRun, core.BatchResult{
+			Data:       it.Data,
+			ModuleID:   it.Tenant,
+			EgressPort: it.Port,
+		})
+	}
+	flush()
 }
 
 // targetLocked returns the current service batch size and advances the
@@ -297,10 +423,11 @@ func (w *worker) targetLocked() int {
 	return target
 }
 
-// drain blocks until this worker has no queued or in-flight frames.
+// drain blocks until this worker has no queued, in-flight, or
+// egress-scheduled frames.
 func (w *worker) drain() {
 	w.mu.Lock()
-	for w.pending > 0 || w.busy {
+	for w.pending > 0 || w.busy || w.egBacklog > 0 {
 		w.notFull.Wait()
 	}
 	w.mu.Unlock()

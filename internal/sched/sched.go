@@ -85,30 +85,48 @@ func NewRateLimiter() *RateLimiter {
 }
 
 // SetLimit installs (or replaces) a module's allowance. Burst is one
-// second's worth, floored at one packet / one MTU.
+// second's worth, floored at one packet / one MTU. Replacing an
+// existing limit carries the bucket's fill *fraction* (and refill
+// clock) over to the new bucket: re-applying a limit is not a way to
+// regain a full burst.
 func (r *RateLimiter) SetLimit(moduleID uint16, lim ModuleLimit) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.limits[moduleID] = lim
 	if lim.PPS > 0 {
-		r.pkts[moduleID] = NewTokenBucket(lim.PPS, math.Max(1, lim.PPS/100))
+		r.pkts[moduleID] = replaceBucket(r.pkts[moduleID], lim.PPS, math.Max(1, lim.PPS/100))
 	} else {
 		delete(r.pkts, moduleID)
 	}
 	if lim.BPS > 0 {
-		r.bits[moduleID] = NewTokenBucket(lim.BPS, math.Max(12000, lim.BPS/100))
+		r.bits[moduleID] = replaceBucket(r.bits[moduleID], lim.BPS, math.Max(12000, lim.BPS/100))
 	} else {
 		delete(r.bits, moduleID)
 	}
 }
 
-// ClearLimit removes a module's allowance.
+// replaceBucket builds the bucket for a (re)installed limit: full for a
+// fresh module, at the old bucket's fill fraction when one exists.
+func replaceBucket(old *TokenBucket, rate, burst float64) *TokenBucket {
+	b := NewTokenBucket(rate, burst)
+	if old != nil && old.Burst > 0 {
+		b.tokens = burst * (old.tokens / old.Burst)
+		b.last = old.last
+	}
+	return b
+}
+
+// ClearLimit removes a module's allowance and prunes every per-module
+// entry, including its drop counter — the unload hook: a later
+// re-install starts from a clean slate instead of inheriting state
+// from the module's previous life.
 func (r *RateLimiter) ClearLimit(moduleID uint16) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	delete(r.limits, moduleID)
 	delete(r.pkts, moduleID)
 	delete(r.bits, moduleID)
+	delete(r.dropped, moduleID)
 }
 
 // Allow charges one frame of the given size at time now (seconds) and
@@ -252,6 +270,17 @@ func (w *WFQ) SetWeight(moduleID uint16, weight float64) error {
 	return nil
 }
 
+// ClearWeight unregisters a module and prunes its virtual-finish
+// state — the unload hook. Without the prune a re-registered module
+// would inherit the stale finish time of its previous life and start
+// penalized by however far ahead of virtual time it had run.
+func (w *WFQ) ClearWeight(moduleID uint16) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	delete(w.weights, moduleID)
+	delete(w.lastFinish, moduleID)
+}
+
 // Rank computes the PIFO rank for one frame of a module: the virtual
 // start time of the frame under weighted fair queueing. OnPop must be
 // called with each dequeued item to advance virtual time.
@@ -288,15 +317,26 @@ func NewScheduler(queueLimit int) *Scheduler {
 	return &Scheduler{WFQ: NewWFQ(), PIFO: NewPIFO(queueLimit)}
 }
 
-// Enqueue ranks and queues one frame.
+// Enqueue ranks and queues one frame. The module's virtual finish time
+// is charged only once the PIFO accepts the frame: a tail-dropped
+// frame leaves the WFQ state untouched, so a module hitting a full
+// queue is not penalized on the ranks of frames it never transmitted.
+// (Holding the WFQ lock across the push keeps the rank-then-commit
+// sequence atomic against concurrent Enqueues; Dequeue never holds the
+// PIFO lock while taking the WFQ lock, so the order is deadlock-free.)
 func (s *Scheduler) Enqueue(moduleID uint16, frame []byte) error {
-	rank, err := s.WFQ.Rank(moduleID, len(frame))
-	if err != nil {
-		return err
+	w := s.WFQ
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	weight, ok := w.weights[moduleID]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoSuchModule, moduleID)
 	}
-	if !s.PIFO.Push(Item{ModuleID: moduleID, Frame: frame, Rank: rank}) {
+	start := math.Max(w.virtualTime, w.lastFinish[moduleID])
+	if !s.PIFO.Push(Item{ModuleID: moduleID, Frame: frame, Rank: start}) {
 		return fmt.Errorf("sched: queue full, frame of module %d dropped", moduleID)
 	}
+	w.lastFinish[moduleID] = start + float64(len(frame))/weight
 	return nil
 }
 

@@ -271,3 +271,118 @@ func TestQuickBucketInvariant(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Regression (PR 4): a tail-dropped frame must not charge WFQ virtual
+// finish time. Before the fix, Rank advanced lastFinish before
+// PIFO.Push could fail, so a module hitting a full queue was penalized
+// on every future rank by frames it never transmitted.
+func TestSchedulerTailDropDoesNotChargeVirtualTime(t *testing.T) {
+	s := NewScheduler(1)
+	if err := s.WFQ.SetWeight(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	frame := make([]byte, 100)
+	if err := s.Enqueue(1, frame); err != nil { // rank 0, finish 100
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ { // all tail-dropped: must charge nothing
+		if err := s.Enqueue(1, frame); err == nil {
+			t.Fatalf("push %d accepted on a full depth-1 queue", i)
+		}
+	}
+	if _, ok := s.Dequeue(); !ok {
+		t.Fatal("dequeue failed")
+	}
+	if err := s.Enqueue(1, frame); err != nil {
+		t.Fatal(err)
+	}
+	it, ok := s.Dequeue()
+	if !ok {
+		t.Fatal("dequeue failed")
+	}
+	// The accepted frame continues from the first frame's finish (100),
+	// not from 100 + 50 phantom charges.
+	if it.Rank != 100 {
+		t.Errorf("post-tail-drop rank = %v, want 100 (no phantom charges)", it.Rank)
+	}
+}
+
+// Regression (PR 4): ClearWeight must prune lastFinish so a module
+// that is unloaded and re-loaded starts fresh at virtual time.
+func TestWFQClearWeightPrunesFinishState(t *testing.T) {
+	s := NewScheduler(0)
+	if err := s.WFQ.SetWeight(3, 1); err != nil {
+		t.Fatal(err)
+	}
+	frame := make([]byte, 1000)
+	for i := 0; i < 10; i++ { // run lastFinish out to 10000
+		if err := s.Enqueue(3, frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.WFQ.ClearWeight(3)
+	if err := s.Enqueue(3, frame); err == nil {
+		t.Fatal("cleared module still registered")
+	}
+	if err := s.WFQ.SetWeight(3, 1); err != nil {
+		t.Fatal(err)
+	}
+	rank, err := s.WFQ.Rank(3, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Virtual time is still 0 (nothing dequeued): a re-loaded module
+	// must rank at 0, not inherit its old finish of 10000.
+	if rank != 0 {
+		t.Errorf("re-registered module rank = %v, want 0 (stale lastFinish leaked)", rank)
+	}
+}
+
+// Regression (PR 4): re-applying a limit must not reset the bucket to
+// a full burst — a tenant could otherwise regain its whole burst by
+// re-installing its own limit.
+func TestRateLimiterSetLimitPreservesFill(t *testing.T) {
+	r := NewRateLimiter()
+	r.SetLimit(1, ModuleLimit{PPS: 2}) // burst floor: 1 packet
+	if !r.Allow(1, 100, 0) {
+		t.Fatal("first frame should pass on the burst")
+	}
+	r.SetLimit(1, ModuleLimit{PPS: 2}) // re-apply: bucket stays drained
+	if r.Allow(1, 100, 0) {
+		t.Fatal("re-applying a limit refilled the bucket to full burst")
+	}
+	if !r.Allow(1, 100, 0.5) { // 0.5 s at 2 pps refills the packet
+		t.Fatal("refill after replacement broken")
+	}
+
+	// The fraction carries across a changed limit too: a half-full
+	// bucket stays half-full at the new burst size.
+	r.SetLimit(2, ModuleLimit{PPS: 200}) // burst 2
+	if !r.Allow(2, 100, 0) {
+		t.Fatal("first frame should pass")
+	}
+	r.SetLimit(2, ModuleLimit{PPS: 400}) // burst 4, fill fraction 1/2 -> 2 tokens
+	if !r.Allow(2, 100, 0) || !r.Allow(2, 100, 0) {
+		t.Fatal("carried fill fraction should grant 2 tokens")
+	}
+	if r.Allow(2, 100, 0) {
+		t.Fatal("bucket should be empty after the carried fraction is spent")
+	}
+}
+
+// Regression (PR 4): ClearLimit prunes the drop counter, so a module
+// unloaded and later re-installed does not inherit its previous life's
+// drop history.
+func TestRateLimiterClearLimitPrunesDropCounter(t *testing.T) {
+	r := NewRateLimiter()
+	r.SetLimit(5, ModuleLimit{PPS: 1})
+	r.Allow(5, 100, 0)
+	r.Allow(5, 100, 0) // dropped
+	if r.Dropped(5) == 0 {
+		t.Fatal("setup: no drop recorded")
+	}
+	r.ClearLimit(5)
+	if got := r.Dropped(5); got != 0 {
+		t.Errorf("Dropped = %d after ClearLimit, want 0", got)
+	}
+}

@@ -82,6 +82,24 @@ func (s *Scenario) NextBatch(out [][]byte, n int) [][]byte {
 	return out
 }
 
+// ContentionScenario builds the §3.5 egress-sharing workload: every
+// tenant offers the same saturating load — equal interleave weight and
+// equal frame size — so any skew in the engine's *delivered* shares is
+// attributable to its egress scheduler's weights, not to the offered
+// mix. frameBytes pads every tenant's frames to one size (0 keeps each
+// program's minimal frame, which is fine when all tenants run the same
+// program); per-tenant Weight/FrameBytes values in loads are
+// overridden.
+func ContentionScenario(seed uint64, frameBytes int, loads ...TenantLoad) *Scenario {
+	eq := make([]TenantLoad, len(loads))
+	copy(eq, loads)
+	for i := range eq {
+		eq[i].Weight = 1
+		eq[i].FrameBytes = frameBytes
+	}
+	return NewScenario(seed, eq...)
+}
+
 // Total returns how many frames the scenario has generated so far.
 func (s *Scenario) Total() int {
 	n := 0

@@ -45,8 +45,30 @@ type EngineConfig struct {
 	// backlog to amortize over.
 	FixedBatch bool
 	// OnBatch, when set, observes every processed batch on the worker
-	// goroutine; results are valid only during the callback.
+	// goroutine; results are valid only during the callback. With
+	// egress scheduling active (EgressWeights, or a live
+	// SetEgressWeight call) it instead observes frames as the egress
+	// scheduler drains them: weighted fair rank order, forwarded frames
+	// only, same per-tenant grouping and buffer lifetime.
 	OnBatch func(workerID int, tenant uint16, results []EngineResult)
+
+	// EgressWeights enables §3.5 egress scheduling: each worker ranks
+	// processed frames with tenant-weighted start-time fair queueing
+	// and drains them through a bounded push-out PIFO, so inter-tenant
+	// output bandwidth follows these weights regardless of offered
+	// load. Tenants not listed get weight 1. Nil leaves the egress
+	// stage off (zero overhead).
+	EgressWeights map[uint16]float64
+	// EgressQueueLimit bounds each worker's egress PIFO in frames
+	// (default 4*BatchSize). Overflow displaces the worst-ranked queued
+	// frame (push-out), which is what holds the drained shares at the
+	// weights under overload.
+	EgressQueueLimit int
+	// EgressQuantum caps frames delivered per worker service cycle
+	// (default BatchSize). Values below BatchSize model a TX link
+	// slower than the pipeline: the scheduler then arbitrates the
+	// backlog and the weighted shares show up in the delivered stream.
+	EgressQuantum int
 }
 
 // Engine is a running concurrent dataplane created by Device.NewEngine.
@@ -69,15 +91,18 @@ func (d *Device) NewEngine(cfg EngineConfig) (*Engine, error) {
 		specs = append(specs, engine.ModuleSpec{Config: m.program.Config, Placement: m.placement})
 	}
 	e, err := engine.New(engine.Config{
-		Workers:    cfg.Workers,
-		QueueDepth: cfg.QueueDepth,
-		BatchSize:  cfg.BatchSize,
-		DropOnFull: cfg.DropOnFull,
-		FixedBatch: cfg.FixedBatch,
-		Geometry:   d.pipe.Geometry,
-		Options:    d.pipe.Options,
-		Modules:    specs,
-		OnBatch:    cfg.OnBatch,
+		Workers:          cfg.Workers,
+		QueueDepth:       cfg.QueueDepth,
+		BatchSize:        cfg.BatchSize,
+		DropOnFull:       cfg.DropOnFull,
+		FixedBatch:       cfg.FixedBatch,
+		Geometry:         d.pipe.Geometry,
+		Options:          d.pipe.Options,
+		Modules:          specs,
+		OnBatch:          cfg.OnBatch,
+		EgressWeights:    cfg.EgressWeights,
+		EgressQueueLimit: cfg.EgressQueueLimit,
+		EgressQuantum:    cfg.EgressQuantum,
 	})
 	if err != nil {
 		return nil, err
@@ -231,4 +256,16 @@ func (e *Engine) EndTenantUpdate(tenant uint16) (uint64, error) {
 // opposed to the hold semantics of BeginTenantUpdate.
 func (e *Engine) SetTenantUpdating(tenant uint16, updating bool) (uint64, error) {
 	return e.eng.SetTenantUpdating(tenant, updating)
+}
+
+// SetEgressWeight configures a tenant's §3.5 egress WFQ weight live,
+// through the same generation-tagged control queue as module
+// reconfiguration: every shard applies it at a batch boundary, and
+// AwaitQuiesce on the returned generation guarantees it is in force
+// engine-wide. Weight 0 clears the tenant back to the implicit weight
+// of 1 and prunes its virtual-finish state. The first weight ever set
+// switches delivery into egress-scheduling mode (see
+// EngineConfig.EgressWeights).
+func (e *Engine) SetEgressWeight(tenant uint16, weight float64) (uint64, error) {
+	return e.eng.SetEgressWeight(tenant, weight)
 }
