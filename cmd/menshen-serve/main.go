@@ -10,6 +10,8 @@
 //	menshen-serve -modules CALC,NetCache -workers 8 -batch 64 -packets 2000000
 //	menshen-serve -rate-pps 500000                 # police each tenant at 500 kpps
 //	menshen-serve -live-reconfig 8                 # reload the last tenant 8x mid-run
+//	menshen-serve -fabric 3                        # 3-node engine fabric (chain)
+//	menshen-serve -fabric 3 -fabric-ring           # cyclic topology: counted TTL drops
 package main
 
 import (
@@ -21,7 +23,14 @@ import (
 	"time"
 
 	menshen "repro"
+	"repro/internal/checker"
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/fabric"
 	"repro/internal/p4progs"
+	"repro/internal/packet"
+	"repro/internal/sysmod"
 	"repro/internal/trafficgen"
 )
 
@@ -45,7 +54,31 @@ func main() {
 		"comma-separated egress WFQ weights, one per -modules entry (e.g. 3,1,1): enables §3.5 egress scheduling and runs the equal-offered-load contention scenario")
 	egressQueue := flag.Int("egress-queue", 128, "per-worker egress PIFO bound in frames (push-out)")
 	egressQuantum := flag.Int("egress-quantum", 8, "frames delivered per worker service cycle (the modeled TX link)")
+	egressQuantumBytes := flag.Int("egress-quantum-bytes", 0,
+		"bytes delivered per worker service cycle (0 = frame-denominated only); models the TX link in bytes so mixed frame sizes share fairly by bytes")
+	fabricNodes := flag.Int("fabric", 0,
+		"run an engine-backed fabric of this many nodes (chain topology) instead of a single engine; each node runs its own engine and inter-node links are owned-buffer hand-offs. -modules is ignored: fabric tenants run passthrough modules routed by the system module's per-tenant virtual IPs")
+	fabricTenants := flag.Int("fabric-tenants", 3, "tenants to load on every fabric node")
+	fabricRing := flag.Bool("fabric-ring", false,
+		"close the fabric chain into a ring with a looping route: the §3.4 check refuses it, and the run demonstrates the TTL bound converting the loop into counted drops")
 	flag.Parse()
+
+	if *fabricNodes > 0 {
+		runFabric(fabricRun{
+			nodes:   *fabricNodes,
+			tenants: *fabricTenants,
+			ring:    *fabricRing,
+			workers: *workers,
+			batch:   *batch,
+			queue:   *queue,
+			packets: *packets,
+			size:    *size,
+			flows:   *flows,
+			seed:    *seed,
+			drop:    *drop,
+		})
+		return
+	}
 
 	var kind menshen.PlatformKind
 	switch *platform {
@@ -108,13 +141,14 @@ func main() {
 	}
 
 	eng, err := dev.NewEngine(menshen.EngineConfig{
-		Workers:          *workers,
-		BatchSize:        *batch,
-		QueueDepth:       *queue,
-		DropOnFull:       *drop,
-		EgressWeights:    weightByID,
-		EgressQueueLimit: *egressQueue,
-		EgressQuantum:    *egressQuantum,
+		Workers:            *workers,
+		BatchSize:          *batch,
+		QueueDepth:         *queue,
+		DropOnFull:         *drop,
+		EgressWeights:      weightByID,
+		EgressQueueLimit:   *egressQueue,
+		EgressQuantum:      *egressQuantum,
+		EgressQuantumBytes: *egressQuantumBytes,
 	})
 	if err != nil {
 		fatal(err)
@@ -270,6 +304,150 @@ func main() {
 		float64(tot.Bytes)*8/wall.Seconds()/1e9)
 	fmt.Printf("modeled hardware line: %.1f Gbit/s at %d-byte frames (%s)\n",
 		dev.ThroughputGbps(frameSizeOrDefault(*size)), frameSizeOrDefault(*size), dev.Platform())
+}
+
+// fabricPassthrough is the tenant module every fabric node runs: it
+// forwards frames untouched and lets the system-level module's
+// per-tenant virtual-IP routes (§3.3) steer them across the fabric.
+const fabricPassthrough = `
+module pass;
+header sr_h { tag : 16; }
+parser { extract sr_h at 46; }
+action nop_a() { }
+table t { actions = { nop_a; } size = 1; }
+control { apply(t); }
+`
+
+// fabricRun carries the -fabric mode's parameters.
+type fabricRun struct {
+	nodes, tenants        int
+	ring                  bool
+	workers, batch, queue int
+	packets, size, flows  int
+	seed                  uint64
+	drop                  bool
+}
+
+// runFabric drives a multi-node engine fabric: a chain (or ring) of
+// engine-backed nodes, every tenant's vIP routed hop by hop to a host
+// port on the last node, traffic injected at the first node, and a
+// per-node/per-tenant report at the end.
+func runFabric(r fabricRun) {
+	vip := packet.IPv4Addr{10, 9, 9, 9}
+	ids := make([]uint16, r.tenants)
+	for i := range ids {
+		ids[i] = uint16(i + 1)
+	}
+
+	fab := fabric.NewEngineFabric(nil) // deliveries are counted, not retained
+	for i := 0; i < r.nodes; i++ {
+		name := fmt.Sprintf("s%d", i)
+		sys := sysmod.NewConfig()
+		port := uint8(1) // forward along the chain
+		if i == r.nodes-1 && !r.ring {
+			port = 2 // host-terminal on the last node
+		}
+		for _, id := range ids {
+			sys.AddRoute(id, vip, port)
+		}
+		alloc := checker.NewAllocator(checker.CapacityOf(core.DefaultGeometry()), nil)
+		specs := make([]engine.ModuleSpec, 0, len(ids))
+		for _, id := range ids {
+			prog, err := compiler.Compile(fabricPassthrough, compiler.Options{ModuleID: id})
+			if err != nil {
+				fatal(err)
+			}
+			if err := sys.Augment(prog.Config); err != nil {
+				fatal(err)
+			}
+			pl, err := alloc.Admit(prog.Config)
+			if err != nil {
+				fatal(err)
+			}
+			specs = append(specs, engine.ModuleSpec{Config: prog.Config, Placement: pl})
+		}
+		if _, err := fab.AddNode(name, sys, fabric.NodeConfig{
+			Workers:    r.workers,
+			QueueDepth: r.queue,
+			BatchSize:  r.batch,
+			DropOnFull: r.drop,
+			Modules:    specs,
+		}); err != nil {
+			fatal(err)
+		}
+		if i > 0 {
+			if err := fab.Link(fmt.Sprintf("s%d", i-1), 1, name, 0); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if r.ring {
+		if err := fab.Link(fmt.Sprintf("s%d", r.nodes-1), 1, "s0", 0); err != nil {
+			fatal(err)
+		}
+	}
+	topo := "chain"
+	if r.ring {
+		topo = "ring"
+	}
+	fmt.Printf("fabric: %d nodes (%s), %d tenants, %d workers/node\n", r.nodes, topo, r.tenants, r.workers)
+
+	// The §3.4 control-plane check runs before traffic: a chain passes,
+	// a looping ring is refused (and the run then demonstrates the TTL
+	// bound degrading the loop into counted drops, not a hang).
+	var hops []checker.Hop
+	for _, h := range fab.ModuleRouteGraph(ids[0]) {
+		hops = append(hops, checker.Hop{Dev: h.Dev, VIP: h.VIP, Next: h.Next})
+	}
+	if err := checker.CheckLoopFree(hops); err != nil {
+		fmt.Printf("control plane: %v (loading anyway to exercise the TTL bound)\n", err)
+	} else {
+		fmt.Println("control plane: route graph verified loop-free")
+	}
+
+	if err := fab.Start(); err != nil {
+		fatal(err)
+	}
+	sc := trafficgen.FabricScenario(r.seed, vip, r.size, r.flows, ids...)
+	var frames [][]byte
+	start := time.Now()
+	for sent := 0; sent < r.packets; {
+		n := r.batch * r.workers
+		if rem := r.packets - sent; n > rem {
+			n = rem
+		}
+		frames = sc.NextBatch(frames[:0], n)
+		if _, err := fab.InjectBatch("s0", 0, frames); err != nil {
+			fatal(err)
+		}
+		sent += n
+	}
+	fab.Drain()
+	wall := time.Since(start)
+	st := fab.Stats()
+	if err := fab.Close(); err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("\n--- nodes ---\n")
+	for i := 0; i < r.nodes; i++ {
+		name := fmt.Sprintf("s%d", i)
+		ns := st.Nodes[name]
+		fmt.Printf("node %s: forwarded %9d  link-dropped %7d  ttl-dropped %7d  delivered %9d\n",
+			name, ns.Forwarded, ns.LinkDropped, ns.TTLDropped, ns.Delivered)
+		for _, id := range ns.Engine.TenantIDs() {
+			ts := ns.Engine.Tenants[id]
+			fmt.Printf("  tenant %2d: in %9d  forwarded %9d  dropped %7d (queue %d, pipeline %d)\n",
+				id, ts.Submitted, ts.Processed, ts.Dropped(), ts.QueueFull, ts.PipelineDrops)
+		}
+	}
+
+	fmt.Printf("\n--- fabric totals ---\n")
+	fmt.Printf("injected %d frames in %v\n", r.packets, wall.Round(time.Millisecond))
+	fmt.Printf("hand-offs %d, delivered %d, link drops %d, ttl drops %d\n",
+		st.Forwarded, st.Delivered, st.LinkDropped, st.TTLDropped)
+	fmt.Printf("%.2f Mpps end to end (per injected frame, %d pipelines deep)\n",
+		float64(r.packets)/wall.Seconds()/1e6, r.nodes)
 }
 
 func frameSizeOrDefault(size int) int {

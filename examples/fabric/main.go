@@ -4,16 +4,24 @@
 // verifies the route graph is loop-free before loading, and the frame's
 // VLAN-carried module ID is untouched in flight (the property the static
 // checker's no-VID-writes rule protects).
+//
+// The demo runs the same two-switch topology twice: first through the
+// synchronous walker (one frame at a time, full traces), then through
+// the engine-backed fabric — one concurrent engine per switch, the
+// inter-switch link an owned-buffer hand-off between the two engines —
+// and shows both deliver the tenant's traffic to the same host port.
 package main
 
 import (
 	"fmt"
 	"log"
+	"sync"
 
 	"repro/internal/checker"
 	"repro/internal/compiler"
 	"repro/internal/core"
 	"repro/internal/ctrlplane"
+	"repro/internal/engine"
 	"repro/internal/fabric"
 	"repro/internal/packet"
 	"repro/internal/sysmod"
@@ -30,37 +38,42 @@ table t { actions = { count; } size = 1; }
 control { apply(t); }
 `
 
-func loadTenant(n *fabric.Node, moduleID uint16) error {
+// compileTenant compiles the module for one switch, merging that
+// switch's system-module routes into the configuration.
+func compileTenant(sys *sysmod.Config, moduleID uint16) (engine.ModuleSpec, error) {
 	prog, err := compiler.Compile(tenantSrc, compiler.Options{ModuleID: moduleID})
 	if err != nil {
-		return err
+		return engine.ModuleSpec{}, err
 	}
-	if err := n.Sys.Augment(prog.Config); err != nil {
-		return err
+	if err := sys.Augment(prog.Config); err != nil {
+		return engine.ModuleSpec{}, err
 	}
-	alloc := checker.NewAllocator(checker.CapacityOf(n.Pipe.Geometry), nil)
+	alloc := checker.NewAllocator(checker.CapacityOf(core.DefaultGeometry()), nil)
 	pl, err := alloc.Admit(prog.Config)
 	if err != nil {
-		return err
+		return engine.ModuleSpec{}, err
 	}
-	_, err = ctrlplane.New(n.Pipe).LoadModule(prog.Config, pl)
-	return err
+	return engine.ModuleSpec{Config: prog.Config, Placement: pl}, nil
+}
+
+// sysConfigs returns fresh per-switch system configs: s1 forwards the
+// tenant's vIP over its port 1 (the link), s2 delivers to host port 2.
+func sysConfigs(vip packet.IPv4Addr) (sys1, sys2 *sysmod.Config) {
+	sys1 = sysmod.NewConfig()
+	sys1.AddRoute(1, vip, 1)
+	sys2 = sysmod.NewConfig()
+	sys2.AddRoute(1, vip, 2)
+	return sys1, sys2
 }
 
 func main() {
-	f := fabric.New()
 	vip := packet.IPv4Addr{10, 9, 9, 9}
 
-	// s1 forwards the tenant's vIP over its port 1; s2 delivers it to the
-	// host on port 2.
-	sys1 := sysmod.NewConfig()
-	sys1.AddRoute(1, vip, 1)
+	// --- Part 1: the synchronous walker, one traced frame ---
+	f := fabric.New()
+	sys1, sys2 := sysConfigs(vip)
 	s1 := f.AddDevice("s1", core.NewDefault(), sys1)
-
-	sys2 := sysmod.NewConfig()
-	sys2.AddRoute(1, vip, 2)
 	s2 := f.AddDevice("s2", core.NewDefault(), sys2)
-
 	if err := f.Link("s1", 1, "s2", 0); err != nil {
 		log.Fatal(err)
 	}
@@ -76,14 +89,16 @@ func main() {
 	fmt.Println("route graph verified loop-free")
 
 	for _, n := range []*fabric.Node{s1, s2} {
-		if err := loadTenant(n, 1); err != nil {
+		spec, err := compileTenant(n.Sys, 1)
+		if err != nil {
+			log.Fatalf("compile for %s: %v", n.Name, err)
+		}
+		if _, err := ctrlplane.New(n.Pipe).LoadModule(spec.Config, spec.Placement); err != nil {
 			log.Fatalf("load on %s: %v", n.Name, err)
 		}
 		fmt.Printf("tenant module loaded on %s\n", n.Name)
 	}
 
-	// Send a tenant frame into s1; it is counted on both devices and
-	// delivered at s2's host port.
 	frame := trafficgen.FlowPacket(1, packet.IPv4Addr{10, 0, 0, 1}, vip, 1000, 2000, 0)
 	deliveries, traces, err := f.Inject("s1", 0, frame)
 	if err != nil {
@@ -101,13 +116,72 @@ func main() {
 			d.Device, d.Port, d.Hops, p.ModuleID())
 	}
 
-	// Each device counted the packet independently in its own stateful
-	// memory (same module, per-device state).
-	for _, n := range []*fabric.Node{s1, s2} {
-		count, err := sysmod.PacketCount(n.Pipe, 1)
+	// --- Part 2: the same topology as an engine fabric ---
+	// Each switch now runs a concurrent batched engine; the s1->s2 link
+	// is an asynchronous owned-buffer hand-off (a pointer move between
+	// the engines), and hop counts travel out-of-band, never in the
+	// frame.
+	fmt.Println("\nengine fabric over the same topology:")
+	// The sink runs on node worker goroutines concurrently — guard it.
+	var sinkMu sync.Mutex
+	delivered := 0
+	lastVID := uint16(0)
+	ef := fabric.NewEngineFabric(func(d fabric.Delivery) {
+		// Frames are only valid during the callback; this sink just
+		// counts them and remembers the VID.
+		var p packet.Packet
+		err := packet.Decode(d.Frame, &p)
+		sinkMu.Lock()
+		delivered++
+		if err == nil {
+			lastVID = p.ModuleID()
+		}
+		sinkMu.Unlock()
+	})
+	esys1, esys2 := sysConfigs(vip)
+	for _, n := range []struct {
+		name string
+		sys  *sysmod.Config
+	}{{"s1", esys1}, {"s2", esys2}} {
+		spec, err := compileTenant(n.sys, 1)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%s system counter for module 1: %d\n", n.Name, count)
+		if _, err := ef.AddNode(n.name, n.sys, fabric.NodeConfig{
+			Workers: 2,
+			Modules: []engine.ModuleSpec{spec},
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := ef.Link("s1", 1, "s2", 0); err != nil {
+		log.Fatal(err)
+	}
+	if err := ef.Start(); err != nil {
+		log.Fatal(err)
+	}
+
+	sc := trafficgen.FabricScenario(7, vip, 0, 8, 1)
+	const total = 10000
+	var batch [][]byte
+	for sent := 0; sent < total; sent += len(batch) {
+		batch = sc.NextBatch(batch[:0], min(256, total-sent))
+		if _, err := ef.InjectBatch("s1", 0, batch); err != nil {
+			log.Fatal(err)
+		}
+	}
+	ef.Drain()
+	st := ef.Stats()
+	if err := ef.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("injected %d frames at s1; delivered %d at s2's host port (VID still %d)\n",
+		total, delivered, lastVID)
+	fmt.Printf("link hand-offs s1->s2: %d (zero copies per hop), link drops: %d, ttl drops: %d\n",
+		st.Forwarded, st.LinkDropped, st.TTLDropped)
+	for _, name := range []string{"s1", "s2"} {
+		ns := st.Nodes[name]
+		fmt.Printf("  %s: %d frames through %d worker shards\n",
+			name, ns.Engine.Totals().Processed, len(ns.Engine.Workers))
 	}
 }

@@ -356,6 +356,15 @@ type BatchResult struct {
 	// Err records a per-frame processing error (the frame counts as
 	// dropped); other frames of the batch are unaffected.
 	Err error
+	// Meta is an opaque out-of-band word that travels alongside the
+	// frame, never inside it: the engine's metadata submit paths attach
+	// it (the multi-device fabric carries per-frame hop counts here) and
+	// deliver it with the result. Only the low 56 bits are carried —
+	// the engine packs the word with the frame's ingress port in one
+	// ring slot, so the top 8 bits arrive zeroed. The pipeline itself
+	// neither reads nor writes it beyond resetting it to zero for each
+	// processed frame.
+	Meta uint64
 	// buf is the reusable backing storage Data points into on success.
 	buf []byte
 }
@@ -369,7 +378,7 @@ type BatchResult struct {
 // the per-result buffer). A per-frame error is recorded in res[i].Err
 // and does not abort the batch.
 func (p *Pipeline) ProcessBatch(frames [][]byte, ingressPort uint8, res []BatchResult) error {
-	return p.processBatch(frames, ingressPort, res, false)
+	return p.processBatch(frames, ingressPort, nil, res, false)
 }
 
 // ProcessBatchInPlace is ProcessBatch minus the last copy: the deparser
@@ -381,7 +390,20 @@ func (p *Pipeline) ProcessBatch(frames [][]byte, ingressPort uint8, res []BatchR
 // (parser.Program.Deparse's aliasing guarantee), so the result bytes
 // are identical to the copying path's.
 func (p *Pipeline) ProcessBatchInPlace(frames [][]byte, ingressPort uint8, res []BatchResult) error {
-	return p.processBatch(frames, ingressPort, res, true)
+	return p.processBatch(frames, ingressPort, nil, res, true)
+}
+
+// ProcessBatchInPlacePorts is ProcessBatchInPlace with a per-frame
+// ingress port: frames[i] is processed as if it entered the device on
+// ports[i]. It exists for the multi-device fabric, where one worker
+// ring interleaves frames that arrived over different inter-node links
+// (and therefore on different ingress ports of the same node). ports
+// must be at least as long as frames.
+func (p *Pipeline) ProcessBatchInPlacePorts(frames [][]byte, ports []uint8, res []BatchResult) error {
+	if len(ports) < len(frames) {
+		return fmt.Errorf("core: ports slice too short: %d ports for %d frames", len(ports), len(frames))
+	}
+	return p.processBatch(frames, 0, ports, res, true)
 }
 
 // batchScope accumulates the per-frame side effects of one batch —
@@ -424,7 +446,7 @@ func (b *batchScope) account(stats *ModuleStats, bytes uint64, dropped bool) {
 	b.bytes += bytes
 }
 
-func (p *Pipeline) processBatch(frames [][]byte, ingressPort uint8, res []BatchResult, inPlace bool) error {
+func (p *Pipeline) processBatch(frames [][]byte, ingressPort uint8, ports []uint8, res []BatchResult, inPlace bool) error {
 	if len(res) < len(frames) {
 		return fmt.Errorf("core: result slice too short: %d results for %d frames", len(res), len(frames))
 	}
@@ -435,7 +457,11 @@ func (p *Pipeline) processBatch(frames [][]byte, ingressPort uint8, res []BatchR
 	var bs batchScope
 	p.Filter.BeginBatch(&bs.cls)
 	for i, data := range frames {
-		p.processBatchFrame(data, ingressPort, gen, &v, &res[i], inPlace, &bs)
+		port := ingressPort
+		if ports != nil {
+			port = ports[i]
+		}
+		p.processBatchFrame(data, port, gen, &v, &res[i], inPlace, &bs)
 	}
 	bs.flushStats()
 	p.Filter.CommitBatch(&bs.cls)
@@ -528,6 +554,7 @@ func (p *Pipeline) processBatchFrame(data []byte, ingressPort uint8, gen uint64,
 	r.Dropped = false
 	r.DiscardedByModule = false
 	r.Err = nil
+	r.Meta = 0
 
 	cls := p.Filter.ClassifyBatched(data, p.Options.NumParsers, &bs.cls)
 	r.Verdict = cls.Verdict

@@ -89,6 +89,88 @@ func TestEngineEgressFairnessThreeTenants(t *testing.T) {
 	}
 }
 
+// TestEngineEgressByteQuantumMixedSizes: with one tenant sending
+// 1000-byte frames and another 100-byte frames at equal weights and
+// equal offered *frame* rates, a byte-denominated TX quantum
+// (EgressQuantumBytes) must arbitrate the backlog into equal *byte*
+// shares — the small-frame tenant delivers ~10x the frames. (With the
+// same frame budget and no byte cap the link is work-conserving here
+// and the delivered bytes would follow the 10:1 offered skew instead.)
+func TestEngineEgressByteQuantumMixedSizes(t *testing.T) {
+	s1, s2, d1, d2 := runMixedSizeContention(t, map[uint16]float64{1: 1, 2: 1}, 1600)
+	if s1 == 0 || s2 == 0 {
+		t.Fatalf("no egress delivery recorded: shares %v/%v", s1, s2)
+	}
+	if math.Abs(s1-0.5) > 0.06 || math.Abs(s2-0.5) > 0.06 {
+		t.Errorf("mixed-size byte shares %.3f/%.3f, want 0.50/0.50 within 12%%", s1, s2)
+	}
+	if ratio := float64(d2) / float64(d1); ratio < 6 || ratio > 14 {
+		t.Errorf("delivered frame ratio %.1f (small:big), want ~10 (equal bytes, 10x size gap)", ratio)
+	}
+}
+
+// TestEngineEgressByteQuantumWeighted: the byte quantum composes with
+// weights — a 3:1 split over mixed sizes lands on 3:1 *byte* shares.
+func TestEngineEgressByteQuantumWeighted(t *testing.T) {
+	s1, s2, _, _ := runMixedSizeContention(t, map[uint16]float64{1: 1, 2: 3}, 1600)
+	if math.Abs(s1-0.25) > 0.05 || math.Abs(s2-0.75) > 0.09 {
+		t.Errorf("weighted mixed-size byte shares %.3f/%.3f, want 0.25/0.75 within ~12%%", s1, s2)
+	}
+}
+
+// runMixedSizeContention offers tenant 1 1000-byte and tenant 2
+// 100-byte frames at equal frame rates through a byte-bottlenecked
+// egress link and returns the steady-state delivered byte shares and
+// frame counts. A warmup burst fills the queue first, so the measured
+// window excludes the start transient (an empty queue is
+// work-conserving and briefly delivers the offered mix).
+func runMixedSizeContention(t *testing.T, weights map[uint16]float64, quantumBytes int) (s1, s2 float64, d1, d2 uint64) {
+	t.Helper()
+	eng, err := newDevice(t, "CALC", "CALC").NewEngine(menshen.EngineConfig{
+		Workers:            1,
+		BatchSize:          32,
+		QueueDepth:         8192,
+		DropOnFull:         true,
+		EgressWeights:      weights,
+		EgressQueueLimit:   128,
+		EgressQuantum:      64, // generous in frames: the byte cap is the bottleneck
+		EgressQuantumBytes: quantumBytes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := trafficgen.NewScenario(31,
+		trafficgen.TenantLoad{ModuleID: 1, Program: "CALC", Flows: 4, FrameBytes: 1000},
+		trafficgen.TenantLoad{ModuleID: 2, Program: "CALC", Flows: 4, FrameBytes: 100},
+	)
+	var batch [][]byte
+	submit := func(frames int) {
+		for sent := 0; sent < frames; sent += len(batch) {
+			batch = sc.NextBatch(batch[:0], 64)
+			if _, err := eng.SubmitBatch(batch); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	submit(8000) // warmup: drive the egress queue into overload
+	before := eng.Stats()
+	submit(40000)
+	eng.Drain()
+	after := eng.Stats()
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b1 := after.Tenants[1].EgressBytes - before.Tenants[1].EgressBytes
+	b2 := after.Tenants[2].EgressBytes - before.Tenants[2].EgressBytes
+	d1 = after.Tenants[1].EgressDelivered - before.Tenants[1].EgressDelivered
+	d2 = after.Tenants[2].EgressDelivered - before.Tenants[2].EgressDelivered
+	if tot := b1 + b2; tot > 0 {
+		s1 = float64(b1) / float64(tot)
+		s2 = float64(b2) / float64(tot)
+	}
+	return s1, s2, d1, d2
+}
+
 // TestEngineEgressAccounting pins the egress counter invariants after
 // a full drain: every pipeline-forwarded frame was either admitted to
 // the scheduler or shed by it, and every admitted frame was either

@@ -1,29 +1,6 @@
-// Package engine is the concurrent, batched dataplane runtime: the
-// software path from "one synchronous Send at a time" to the paper's
-// 100 Gbit/s-class operating point. It follows the standard line-rate
-// software dataplane recipe (cf. NDN-DPDK): RSS-style flow steering
-// fans frames out to N worker shards, each worker owns a replica of the
-// pipeline configuration and services per-tenant RX rings in round
-// robin, and frames move through the pipeline in batches so locks,
-// table-configuration reads, and telemetry are amortized across the
-// batch.
-//
-// Sharding model: every worker holds its own core.Pipeline replica,
-// configured identically at engine creation by replaying each module's
-// reconfiguration commands (the same §4.1 procedure the control plane
-// uses). Steering is deterministic per flow, so per-flow state lands on
-// a consistent shard — the same contract a multi-queue NIC's RSS gives
-// per-core software dataplanes. Per-module stateful memory is therefore
-// sharded per worker; cross-flow aggregate state (e.g. a NetCache
-// counter) is per-shard, exactly as per-core state is in DPDK-class
-// systems.
-//
-// Isolation: tenants keep their Menshen guarantees inside each pipeline
-// replica, and the engine adds edge enforcement — per-tenant token
-// buckets (internal/sched) at submission, per-tenant rings so one
-// tenant's burst cannot occupy another tenant's queue space, and
-// round-robin service so a backlogged tenant cannot starve others on
-// the same shard.
+// Engine lifecycle, configuration, and the submit paths. The package
+// contract — buffer ownership, lifetime, fencing — is documented in
+// doc.go.
 package engine
 
 import (
@@ -55,7 +32,9 @@ const (
 // replica: the compiled configuration plus the placement the resource
 // checker admitted it at.
 type ModuleSpec struct {
-	Config    *core.ModuleConfig
+	// Config is the module's compiled configuration.
+	Config *core.ModuleConfig
+	// Placement is the admitted resource placement.
 	Placement core.Placement
 }
 
@@ -81,21 +60,28 @@ type Config struct {
 	// amortization for latency only when there is a backlog to amortize
 	// over.
 	FixedBatch bool
-	// Geometry and Options configure each worker's pipeline replica;
-	// use the device's values so shards match the loaded hardware model.
+	// Geometry configures each worker's pipeline replica; use the
+	// device's value so shards match the loaded hardware model.
 	Geometry core.Geometry
-	Options  core.Options
+	// Options configures each replica's platform options, like Geometry.
+	Options core.Options
 	// Modules are replayed into every worker shard at creation.
 	Modules []ModuleSpec
 	// OnBatch, when set, observes every processed batch on the worker
 	// goroutine. Results (including their Data buffers) are only valid
 	// for the duration of the callback — copy anything retained.
+	// Exception (the ownership-take contract): the callback may keep a
+	// *forwarded* result's buffer by setting results[i].Data to nil
+	// before returning; the engine then skips recycling that buffer
+	// and the callback owns it — typically to hand it to another
+	// engine via ForwardBatch, making a fabric hop a pointer move.
 	//
 	// With egress scheduling active (see EgressWeights) OnBatch instead
 	// observes frames as the egress scheduler drains them: in weighted
 	// fair rank order, forwarded frames only (pipeline drops are
 	// counted in Stats but not delivered), still grouped into per-tenant
-	// runs and still under the same buffer-lifetime rule.
+	// runs and still under the same buffer-lifetime and ownership-take
+	// rules.
 	OnBatch func(workerID int, tenant uint16, results []core.BatchResult)
 
 	// EgressWeights enables §3.5 egress scheduling: processed frames
@@ -117,6 +103,20 @@ type Config struct {
 	// TX link slower than the pipeline: the egress queue then backs up
 	// and the weighted shares become visible in the delivered stream.
 	EgressQuantum int
+	// EgressQuantumBytes, when > 0, additionally bounds each service
+	// cycle's delivered bytes — the TX link modeled in its natural unit.
+	// With mixed frame sizes a frame-denominated quantum makes the
+	// modeled link speed up whenever small frames are at the head of the
+	// queue; a byte quantum keeps the link's capacity constant, so fair
+	// shares drain by bytes, not frames. At least one frame is always
+	// delivered per cycle, and EgressQuantum still caps the frame count.
+	EgressQuantumBytes int
+
+	// Pool, when set, replaces the engine's private buffer pool —
+	// normally with a NewPool instance shared by several engines, so
+	// that owned buffers handed between them (ForwardBatch) keep
+	// circulating through one freelist. Leave nil for a private pool.
+	Pool *Pool
 }
 
 // Engine is a running dataplane: create with New, feed with Submit or
@@ -135,8 +135,9 @@ type Engine struct {
 
 	// pool recycles frame buffers across batches: Submit copies into it,
 	// SubmitOwned borrows from it, and workers release buffers back to
-	// it once a batch's results have been delivered.
-	pool bufPool
+	// it once a batch's results have been delivered. It is private
+	// unless Config.Pool supplied a shared one.
+	pool *Pool
 }
 
 // New builds the worker shards, replays the module set into each
@@ -163,11 +164,16 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.EgressQuantum <= 0 {
 		cfg.EgressQuantum = cfg.BatchSize
 	}
+	pool := cfg.Pool
+	if pool == nil {
+		pool = NewPool()
+	}
 	e := &Engine{
 		cfg:     cfg,
 		tel:     newTelemetry(),
 		limiter: sched.NewRateLimiter(),
 		start:   time.Now(),
+		pool:    pool,
 	}
 	// Base retention: in-flight batches and submitter stashes. Each
 	// per-tenant ring a worker creates grows the limit by its depth
@@ -258,6 +264,7 @@ func (e *Engine) Release(buf []byte) { e.pool.put(buf) }
 type submitScratch struct {
 	frames  [][][]byte // per worker
 	tenants [][]uint16 // per worker, parallel to frames
+	aux     [][]uint64 // per worker, parallel to frames: packed (meta<<8 | ingress)
 	stash   poolStasher
 }
 
@@ -268,6 +275,7 @@ func (e *Engine) getScratch() *submitScratch {
 	return &submitScratch{
 		frames:  make([][][]byte, len(e.workers)),
 		tenants: make([][]uint16, len(e.workers)),
+		aux:     make([][]uint64, len(e.workers)),
 		stash:   poolStasher{class: -1},
 	}
 }
@@ -277,19 +285,71 @@ func (e *Engine) getScratch() *submitScratch {
 // pooled buffer (see Submit for the ownership contract). It is safe to
 // call concurrently from any number of producers.
 func (e *Engine) SubmitBatch(frames [][]byte) (int, error) {
-	return e.submitBatch(frames, false)
+	return e.submitBatch(frames, submitOpts{trusted: true})
 }
 
 // SubmitBatchOwned is SubmitBatch without the ingress copy: the engine
 // takes ownership of every frame buffer, accepted or not (see
 // SubmitOwned). It is the batch form of the zero-copy path.
 func (e *Engine) SubmitBatchOwned(frames [][]byte) (int, error) {
-	return e.submitBatch(frames, true)
+	return e.submitBatch(frames, submitOpts{owned: true, trusted: true})
 }
 
-func (e *Engine) submitBatch(frames [][]byte, owned bool) (int, error) {
+// InjectBatch is SubmitBatch for frames arriving over the network at a
+// device port rather than from the local trusted host: each frame is
+// processed as if it entered the device on the given ingress port, and
+// — unlike SubmitBatch — well-formed reconfiguration frames are NOT
+// diverted to the control plane. Network ingress is untrusted (§3.1):
+// reconfiguration-port frames ride the data path, where each shard's
+// packet filter drops them. The fabric injects entry traffic here.
+func (e *Engine) InjectBatch(frames [][]byte, ingress uint8) (int, error) {
+	return e.submitBatch(frames, submitOpts{ingress: ingress})
+}
+
+// ForwardBatch is the cross-engine hand-off: the owned, never-blocking,
+// untrusted submission path a fabric node uses to pass frames to the
+// next node. The engine takes ownership of every buffer (accepted or
+// not — a hop is a pointer move, see SubmitOwned for the buffer
+// contract), attaches metas[i] as frames[i]'s out-of-band metadata
+// word (delivered as BatchResult.Meta; nil metas means all zero — the
+// fabric carries hop counts here, never in the frame; only the low 56
+// bits are carried, see BatchResult.Meta), processes each frame as
+// entering on the given ingress port, and tail-drops at full rings
+// regardless of DropOnFull: a downstream engine that cannot keep up
+// sheds load (counted per tenant as QueueFull) instead of blocking
+// the upstream worker that called it — the property that keeps a
+// cyclic fabric deadlock-free. Like InjectBatch it never diverts
+// reconfiguration frames to the control plane. A non-nil metas must
+// be at least as long as frames.
+func (e *Engine) ForwardBatch(frames [][]byte, ingress uint8, metas []uint64) (int, error) {
+	return e.submitBatch(frames, submitOpts{ingress: ingress, metas: metas, owned: true, noBlock: true})
+}
+
+// submitOpts selects the behavior of one submitBatch call; the
+// exported Submit*/Inject*/Forward* wrappers are fixed combinations.
+type submitOpts struct {
+	ingress uint8    // ingress port each frame is processed on
+	metas   []uint64 // per-frame out-of-band words (nil = all zero)
+	owned   bool     // engine takes buffer ownership (no ingress copy)
+	noBlock bool     // never block on full rings, even with DropOnFull unset
+	trusted bool     // divert well-formed reconfig frames to the control plane
+}
+
+func (e *Engine) submitBatch(frames [][]byte, o submitOpts) (int, error) {
+	if o.metas != nil && len(o.metas) < len(frames) {
+		// Reject the parallel-slice misuse up front, before any buffer
+		// changes hands (nothing was accepted, so owned buffers stay
+		// with the caller contract-wise — reclaim them like the closed
+		// path does).
+		if o.owned {
+			for _, f := range frames {
+				e.pool.put(f)
+			}
+		}
+		return 0, fmt.Errorf("engine: metas slice too short: %d metas for %d frames", len(o.metas), len(frames))
+	}
 	if e.isClosed() {
-		if owned {
+		if o.owned {
 			for _, f := range frames {
 				e.pool.put(f)
 			}
@@ -308,16 +368,18 @@ func (e *Engine) submitBatch(frames [][]byte, owned bool) (int, error) {
 		now = time.Since(e.start).Seconds() // one clock read per call, not per frame
 	}
 	for fi, f := range frames {
-		if reconfig.IsReconfigFrame(f) {
+		if o.trusted && reconfig.IsReconfigFrame(f) {
 			// Trusted control path: a well-formed reconfiguration frame
 			// submitted in-process is fanned out to every shard's
 			// control queue (the PCIe analogue). A malformed one falls
 			// through to the data path, where each shard's packet
-			// filter drops it (§3.1 secure reconfiguration).
+			// filter drops it — as does every reconfiguration frame on
+			// the untrusted Inject/Forward paths (§3.1 secure
+			// reconfiguration).
 			if _, err := e.ApplyReconfigFrame(f); err == nil {
 				e.tel.reconfigFrames.Add(1)
 				ctrlAccepted++
-				if owned {
+				if o.owned {
 					e.pool.put(f) // the command was copied out by the control plane
 				}
 				continue
@@ -335,19 +397,24 @@ func (e *Engine) submitBatch(frames [][]byte, owned bool) (int, error) {
 		run++
 		if hasLimits && !e.limiter.Allow(tenant, len(f), now) {
 			tc.RateLimited.Add(1)
-			if owned {
+			if o.owned {
 				e.pool.put(f)
 			}
 			continue
 		}
 		buf := f
-		if !owned {
-			buf = sc.stash.get(&e.pool, len(f), len(frames)-fi)
+		if !o.owned {
+			buf = sc.stash.get(e.pool, len(f), len(frames)-fi)
 			copy(buf, f)
 			copied += len(f)
 		}
+		aux := uint64(o.ingress)
+		if o.metas != nil {
+			aux |= o.metas[fi] << 8
+		}
 		sc.frames[wid] = append(sc.frames[wid], buf)
 		sc.tenants[wid] = append(sc.tenants[wid], tenant)
+		sc.aux[wid] = append(sc.aux[wid], aux)
 	}
 	if run > 0 {
 		tc.Submitted.Add(run)
@@ -356,19 +423,21 @@ func (e *Engine) submitBatch(frames [][]byte, owned bool) (int, error) {
 		e.tel.bytesCopied.Add(uint64(copied))
 	}
 	accepted := ctrlAccepted
+	drop := e.cfg.DropOnFull || o.noBlock
 	for wid := range sc.frames {
 		if len(sc.frames[wid]) == 0 {
 			continue
 		}
-		accepted += e.workers[wid].enqueueMany(sc.frames[wid], sc.tenants[wid], e.cfg.DropOnFull)
+		accepted += e.workers[wid].enqueueMany(sc.frames[wid], sc.tenants[wid], sc.aux[wid], drop)
 		sc.frames[wid] = sc.frames[wid][:0]
 		sc.tenants[wid] = sc.tenants[wid][:0]
+		sc.aux[wid] = sc.aux[wid][:0]
 	}
 	// Flush the stash before parking the scratch: sync.Pool may drop
 	// the scratch at any time (it does so aggressively under the race
 	// detector), and buffers parked in a dropped stash would leak out
 	// of circulation and show up as pool misses.
-	sc.stash.flush(&e.pool)
+	sc.stash.flush(e.pool)
 	e.scratch.Put(sc)
 	return accepted, nil
 }

@@ -108,6 +108,33 @@ func TestEngineMultiTenantConcurrent(t *testing.T) {
 	}
 }
 
+// TestEngineBlockingSubmitLargerThanRing pins the enqueue wakeup fix:
+// a blocking (DropOnFull unset) submission of one tenant's run larger
+// than the ring must complete — the submitter has to wake the worker
+// before waiting for ring space, or both sleep forever.
+func TestEngineBlockingSubmitLargerThanRing(t *testing.T) {
+	dev := newDevice(t, "CALC")
+	eng, err := dev.NewEngine(menshen.EngineConfig{Workers: 1, QueueDepth: 16, BatchSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	gen := trafficgen.DefaultGen("CALC", 1, 0, 1, trafficgen.NewPRNG(11))
+	frames := make([][]byte, 256) // one flow, one ring, 16x its depth
+	for i := range frames {
+		frames[i] = gen(i)
+	}
+	n, err := eng.SubmitBatch(frames)
+	if err != nil || n != len(frames) {
+		t.Fatalf("SubmitBatch: n=%d err=%v", n, err)
+	}
+	eng.Drain()
+	st := eng.Stats()
+	if got := st.Tenants[1].Processed + st.Tenants[1].PipelineDrops; got != uint64(len(frames)) {
+		t.Errorf("processed+dropped = %d, want %d", got, len(frames))
+	}
+}
+
 func TestEngineDrainOnClose(t *testing.T) {
 	dev := newDevice(t, "CALC")
 	eng, err := dev.NewEngine(menshen.EngineConfig{Workers: 2})

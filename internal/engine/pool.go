@@ -24,13 +24,21 @@ const (
 	poolStash = 64
 )
 
-// bufPool is a per-engine, size-classed freelist. A mutex-guarded stack
+// Pool is a size-classed frame-buffer freelist. A mutex-guarded stack
 // per class (rather than sync.Pool) keeps the path strictly
 // allocation-free: sync.Pool would box every []byte header on Put, and
 // the zero-alloc guarantee is the point of the pool. The per-frame
 // paths amortize the lock: submitters refill a local stash (one lock
 // per ~batch), workers release whole batches per class run.
-type bufPool struct {
+//
+// Each Engine owns a private Pool by default. A Pool built with
+// NewPool and passed to several engines via Config.Pool is shared:
+// buffers handed between engines with ForwardBatch then circulate
+// through one freelist, so a fabric whose frames are injected at one
+// node and delivered at another stays allocation-free in steady state
+// (with private pools the ingress node would allocate forever while
+// the egress node discarded forever).
+type Pool struct {
 	classes [poolClasses]poolClass
 	// limit bounds how many idle buffers each class retains; overflow
 	// is dropped for the GC. The engine grows it alongside its own
@@ -45,8 +53,13 @@ type bufPool struct {
 	misses atomic.Uint64 // gets that had to allocate
 }
 
+// NewPool returns an empty pool for sharing between engines (see
+// Config.Pool). Its retention limit starts at zero and grows as each
+// engine using it accounts for its own worst-case in-flight buffer set.
+func NewPool() *Pool { return new(Pool) }
+
 // grow raises the idle-retention limit by n buffers per class.
-func (p *bufPool) grow(n int) { p.limit.Add(int64(n)) }
+func (p *Pool) grow(n int) { p.limit.Add(int64(n)) }
 
 type poolClass struct {
 	mu   sync.Mutex
@@ -67,7 +80,7 @@ func classFor(n int) int {
 
 // get returns a buffer with len n. The contents are unspecified (the
 // caller overwrites them).
-func (p *bufPool) get(n int) []byte {
+func (p *Pool) get(n int) []byte {
 	c := classFor(n)
 	if c >= 0 {
 		pc := &p.classes[c]
@@ -110,7 +123,7 @@ func putClass(b []byte) int {
 }
 
 // put recycles one buffer.
-func (p *bufPool) put(b []byte) {
+func (p *Pool) put(b []byte) {
 	c := putClass(b)
 	if c < 0 {
 		return
@@ -127,7 +140,7 @@ func (p *bufPool) put(b []byte) {
 // putAll recycles a batch of buffers, taking each class lock once per
 // same-class run (in practice: once per batch, since one batch's frames
 // come from one tenant's traffic). Entries are nilled out.
-func (p *bufPool) putAll(bufs [][]byte) {
+func (p *Pool) putAll(bufs [][]byte) {
 	i := 0
 	limit := int(p.limit.Load())
 	for i < len(bufs) {
@@ -171,7 +184,7 @@ type poolStasher struct {
 // buffers the current submission could still need (including this
 // one): a refill never takes more than that, so a single-frame Submit
 // moves one buffer, not a whole stash that is flushed straight back.
-func (s *poolStasher) get(p *bufPool, n, hint int) []byte {
+func (s *poolStasher) get(p *Pool, n, hint int) []byte {
 	c := classFor(n)
 	if c < 0 {
 		p.misses.Add(1)
@@ -211,7 +224,7 @@ func (s *poolStasher) get(p *bufPool, n, hint int) []byte {
 }
 
 // flush returns any stashed buffers to the pool.
-func (s *poolStasher) flush(p *bufPool) {
+func (s *poolStasher) flush(p *Pool) {
 	if len(s.bufs) > 0 {
 		p.putAll(s.bufs)
 		s.bufs = s.bufs[:0]

@@ -128,23 +128,32 @@ func (t *telemetry) tenant(id uint16) *tenantCounters {
 
 // TenantStats is a point-in-time copy of one tenant's counters.
 type TenantStats struct {
-	Submitted     uint64
-	RateLimited   uint64
-	QueueFull     uint64
-	Processed     uint64
+	// Submitted counts frames offered to Submit/SubmitBatch.
+	Submitted uint64
+	// RateLimited counts frames the ingress token bucket rejected.
+	RateLimited uint64
+	// QueueFull counts frames tail-dropped at a full RX ring.
+	QueueFull uint64
+	// Processed counts frames the pipeline forwarded.
+	Processed uint64
+	// PipelineDrops counts frames the pipeline discarded.
 	PipelineDrops uint64
-	Bytes         uint64
+	// Bytes counts forwarded bytes.
+	Bytes uint64
 
-	// Egress scheduling (all zero when no egress weights are set):
-	// EgressQueued counts the tenant's frames admitted to the §3.5
-	// egress stage, EgressDropped those it shed (push-out or reject),
-	// and EgressDelivered/EgressBytes what was actually transmitted in
-	// weighted fair order. Note Processed counts pipeline output — a
-	// frame shed at egress appears in both Processed and EgressDropped.
-	EgressQueued    uint64
-	EgressDropped   uint64
+	// Egress scheduling counters (all zero when no egress weights are
+	// set). Note Processed counts pipeline output — a frame shed at
+	// egress appears in both Processed and EgressDropped.
+
+	// EgressQueued counts frames admitted to the §3.5 egress stage.
+	EgressQueued uint64
+	// EgressDropped counts frames the egress stage shed (push-out
+	// displacement or full-queue reject).
+	EgressDropped uint64
+	// EgressDelivered counts frames transmitted in weighted fair order.
 	EgressDelivered uint64
-	EgressBytes     uint64
+	// EgressBytes counts bytes transmitted in weighted fair order.
+	EgressBytes uint64
 }
 
 // Dropped is the tenant's total drop count across all causes.
@@ -154,14 +163,18 @@ func (s TenantStats) Dropped() uint64 {
 
 // WorkerStats is a point-in-time copy of one worker's counters.
 type WorkerStats struct {
+	// Batches counts pipeline batches this worker serviced.
 	Batches uint64
-	Frames  uint64
+	// Frames counts frames across those batches.
+	Frames uint64
 	// Busy estimates the cumulative time spent inside ProcessBatch,
 	// extrapolated from the sampled batches.
 	Busy time.Duration
-	// P50BatchLatency / P99BatchLatency approximate the batch service
-	// time distribution (log-bucket midpoints).
+	// P50BatchLatency approximates the median batch service time
+	// (log-bucket midpoint).
 	P50BatchLatency time.Duration
+	// P99BatchLatency approximates the 99th-percentile batch service
+	// time (log-bucket midpoint).
 	P99BatchLatency time.Duration
 	// BatchTarget is the worker's current adaptive batch size (equal to
 	// the configured BatchSize when adaptation is disabled or the shard
@@ -171,10 +184,11 @@ type WorkerStats struct {
 	// when it equals Stats.ReconfigIssued the shard has applied every
 	// control operation issued so far.
 	ReconfigGen uint64
-	// ReconfigApplied / ReconfigFailed count this shard's cleanly
-	// applied reconfiguration commands and failed control operations.
+	// ReconfigApplied counts this shard's cleanly applied
+	// reconfiguration commands.
 	ReconfigApplied uint64
-	ReconfigFailed  uint64
+	// ReconfigFailed counts this shard's failed control operations.
+	ReconfigFailed uint64
 }
 
 // AvgBatch is the mean frames per batch.
@@ -194,26 +208,30 @@ type Stats struct {
 	// Uptime is the time since the engine started.
 	Uptime time.Duration
 
-	// ReconfigIssued is the latest control-plane generation issued;
-	// ReconfigApplied / ReconfigFailed sum the per-shard command
-	// counters; ReconfigFrames counts raw reconfiguration frames
-	// accepted via Submit. Updating is the engine-level per-tenant
-	// update bitmap (bit tenant&31 set while the tenant is fenced by a
-	// Begin/EndTenantUpdate window).
-	ReconfigIssued  uint64
+	// ReconfigIssued is the latest control-plane generation issued.
+	ReconfigIssued uint64
+	// ReconfigApplied sums the per-shard applied-command counters.
 	ReconfigApplied uint64
-	ReconfigFailed  uint64
-	ReconfigFrames  uint64
-	Updating        uint32
+	// ReconfigFailed sums the per-shard failed-operation counters.
+	ReconfigFailed uint64
+	// ReconfigFrames counts raw reconfiguration frames accepted via
+	// Submit.
+	ReconfigFrames uint64
+	// Updating is the engine-level per-tenant update bitmap (bit
+	// tenant&31 set while the tenant is fenced by a
+	// Begin/EndTenantUpdate window).
+	Updating uint32
 
-	// Buffer-pool and zero-copy accounting: PoolHits/PoolMisses count
-	// buffer requests served from the pool versus freshly allocated
-	// (Submit ingress copies plus Borrow calls), and BytesCopied is the
-	// total ingress bytes copied by the non-owned submit path. A
-	// steady-state engine shows a hit rate near 1 and, on the owned
-	// path, no copied-bytes growth at all.
-	PoolHits    uint64
-	PoolMisses  uint64
+	// Buffer-pool and zero-copy accounting: a steady-state engine
+	// shows a pool hit rate near 1 and, on the owned path, no
+	// copied-bytes growth at all.
+
+	// PoolHits counts buffer requests served from the pool.
+	PoolHits uint64
+	// PoolMisses counts buffer requests that had to allocate.
+	PoolMisses uint64
+	// BytesCopied is the total ingress bytes copied by the non-owned
+	// submit paths (Submit/SubmitBatch/InjectBatch).
 	BytesCopied uint64
 }
 

@@ -11,27 +11,35 @@ import (
 )
 
 // ring is a fixed-capacity FIFO of frames for one tenant on one worker.
+// Each slot carries the frame buffer plus its packed out-of-band word
+// (meta<<8 | ingress port) so fabric frame context rides the queue
+// without touching the frame bytes.
 type ring struct {
 	buf   [][]byte
+	aux   []uint64
 	head  int
 	count int
 }
 
-func newRing(capacity int) *ring { return &ring{buf: make([][]byte, capacity)} }
+func newRing(capacity int) *ring {
+	return &ring{buf: make([][]byte, capacity), aux: make([]uint64, capacity)}
+}
 
 func (r *ring) full() bool { return r.count == len(r.buf) }
 
-func (r *ring) push(f []byte) {
-	r.buf[(r.head+r.count)%len(r.buf)] = f
+func (r *ring) push(f []byte, aux uint64) {
+	i := (r.head + r.count) % len(r.buf)
+	r.buf[i] = f
+	r.aux[i] = aux
 	r.count++
 }
 
-func (r *ring) pop() []byte {
-	f := r.buf[r.head]
+func (r *ring) pop() ([]byte, uint64) {
+	f, a := r.buf[r.head], r.aux[r.head]
 	r.buf[r.head] = nil
 	r.head = (r.head + 1) % len(r.buf)
 	r.count--
-	return f
+	return f, a
 }
 
 // worker owns one pipeline replica and the rings that feed it.
@@ -64,8 +72,12 @@ type worker struct {
 	pausedPending int
 	genApplied    atomic.Uint64
 
-	// reusable batch scratch (worker goroutine only)
+	// reusable batch scratch (worker goroutine only). aux holds each
+	// popped frame's packed out-of-band word; ports is the unpacked
+	// per-frame ingress, filled only when some aux word is nonzero.
 	batch [][]byte
+	aux   []uint64
+	ports []uint8
 	res   []core.BatchResult
 	stats workerCounters
 
@@ -99,6 +111,8 @@ func newWorker(id int, e *Engine, pipe *core.Pipeline) *worker {
 		queues: make(map[uint16]*ring),
 		paused: make(map[uint16]bool),
 		batch:  make([][]byte, 0, e.cfg.BatchSize),
+		aux:    make([]uint64, e.cfg.BatchSize),
+		ports:  make([]uint8, e.cfg.BatchSize),
 		res:    make([]core.BatchResult, e.cfg.BatchSize),
 	}
 	w.notEmpty = sync.NewCond(&w.mu)
@@ -121,12 +135,13 @@ func (w *worker) queueLocked(tenant uint16) *ring {
 	return q
 }
 
-// enqueueMany appends a run of frames (with per-frame tenants) under a
-// single lock acquisition and returns how many were accepted. With
-// drop=false it blocks while a destination ring is full; with drop=true
-// a full ring tail-drops the frame. Frames rejected because the engine
-// is closing count as queue-full drops.
-func (w *worker) enqueueMany(frames [][]byte, tenants []uint16, drop bool) int {
+// enqueueMany appends a run of frames (with per-frame tenants and
+// packed out-of-band words) under a single lock acquisition and
+// returns how many were accepted. With drop=false it blocks while a
+// destination ring is full; with drop=true a full ring tail-drops the
+// frame. Frames rejected because the engine is closing count as
+// queue-full drops.
+func (w *worker) enqueueMany(frames [][]byte, tenants []uint16, aux []uint64, drop bool) int {
 	accepted := 0
 	w.mu.Lock()
 	var q *ring
@@ -138,6 +153,14 @@ func (w *worker) enqueueMany(frames [][]byte, tenants []uint16, drop bool) int {
 			lastTenant = int(tenant)
 		}
 		for q.full() && !w.closing && !drop {
+			// Wake the worker before sleeping: frames pushed earlier in
+			// this run haven't been signaled yet (the batched signal
+			// sits after the loop), and without this a blocking run
+			// larger than the ring would fill it and wait on a worker
+			// that was never told there is work — a deadlock.
+			if accepted > 0 {
+				w.notEmpty.Signal()
+			}
 			w.notFull.Wait()
 		}
 		if w.closing || q.full() {
@@ -145,7 +168,7 @@ func (w *worker) enqueueMany(frames [][]byte, tenants []uint16, drop bool) int {
 			w.eng.pool.put(f) // rejected frames are engine-owned: reclaim
 			continue
 		}
-		q.push(f)
+		q.push(f, aux[i])
 		w.pending++
 		if w.paused[tenant] {
 			w.pausedPending++
@@ -234,8 +257,14 @@ func (w *worker) run() {
 			n = max
 		}
 		w.batch = w.batch[:0]
+		hasCtx := false
 		for i := 0; i < n; i++ {
-			w.batch = append(w.batch, q.pop())
+			f, aux := q.pop()
+			w.batch = append(w.batch, f)
+			w.aux[i] = aux
+			if aux != 0 {
+				hasCtx = true
+			}
 		}
 		w.pending -= n
 		w.busy = true
@@ -254,8 +283,19 @@ func (w *worker) run() {
 		// Zero-copy: the pipeline deparses directly into the ring
 		// buffers (all engine-owned), so res[i].Data aliases
 		// w.batch[i]; both are reclaimed together after delivery.
+		// Frames carrying out-of-band context (fabric hand-offs) take
+		// the per-frame-ingress variant; everything else keeps the
+		// scalar fast path.
 		res := w.res[:n]
-		err := w.pipe.ProcessBatchInPlace(w.batch, 0, res)
+		var err error
+		if hasCtx {
+			for i := 0; i < n; i++ {
+				w.ports[i] = uint8(w.aux[i])
+			}
+			err = w.pipe.ProcessBatchInPlacePorts(w.batch, w.ports[:n], res)
+		} else {
+			err = w.pipe.ProcessBatchInPlace(w.batch, 0, res)
+		}
 		if sample {
 			elapsed := time.Since(start)
 			w.stats.Sampled.Add(1)
@@ -271,6 +311,7 @@ func (w *worker) run() {
 			drops = uint64(n)
 		} else {
 			for i := range res {
+				res[i].Meta = w.aux[i] >> 8 // surface the out-of-band word
 				if res[i].Dropped {
 					drops++
 				} else {
@@ -293,6 +334,16 @@ func (w *worker) run() {
 		} else {
 			if cb := w.eng.cfg.OnBatch; cb != nil && err == nil {
 				cb(w.id, tenant, res)
+				// Ownership-take contract: a callback that set a
+				// forwarded result's Data to nil kept the buffer (it
+				// handed it to another engine); skip reclaiming it.
+				// Dropped results had nil Data all along — their ring
+				// buffers still go back to the pool.
+				for i := range res {
+					if !res[i].Dropped && res[i].Data == nil {
+						w.batch[i] = nil
+					}
+				}
 			}
 			// Results were delivered (or the frames dropped): recycle the
 			// batch's buffers. This is the "result valid until the
@@ -337,7 +388,7 @@ func (w *worker) egressEnqueue(tenant uint16, tc *tenantCounters, res []core.Bat
 			w.eng.pool.put(w.batch[i])
 			continue
 		}
-		ev, hasEv, ok := w.egress.Push(tenant, res[i].EgressPort, res[i].Data)
+		ev, hasEv, ok := w.egress.Push(tenant, res[i].EgressPort, res[i].Data, res[i].Meta)
 		if !ok {
 			rejected++
 			w.eng.pool.put(w.batch[i])
@@ -359,7 +410,11 @@ func (w *worker) egressEnqueue(tenant uint16, tc *tenantCounters, res []core.Bat
 // order, grouping consecutive same-tenant frames into one OnBatch call
 // (the callback's signature is per-tenant, like the batch path).
 // Buffers are reclaimed after each run's callback returns — the same
-// lifetime rule as unscheduled delivery.
+// lifetime rule (and ownership-take contract) as unscheduled delivery.
+// The quantum is denominated in frames (EgressQuantum) and, when
+// EgressQuantumBytes is set, additionally in bytes, so a modeled TX
+// link's capacity stays constant across mixed frame sizes; at least
+// one frame is delivered per cycle.
 func (w *worker) egressDrain() {
 	var runTenant uint16
 	flush := func() {
@@ -377,11 +432,15 @@ func (w *worker) egressDrain() {
 			cb(w.id, runTenant, w.egRun)
 		}
 		for i := range w.egRun {
-			w.eng.pool.put(w.egRun[i].Data)
+			if d := w.egRun[i].Data; d != nil { // nil: callback took ownership
+				w.eng.pool.put(d)
+			}
 			w.egRun[i].Data = nil
 		}
 		w.egRun = w.egRun[:0]
 	}
+	byteBudget := w.eng.cfg.EgressQuantumBytes
+	drained := 0
 	for n := 0; n < w.eng.cfg.EgressQuantum; n++ {
 		it, ok := w.egress.Pop()
 		if !ok {
@@ -395,7 +454,12 @@ func (w *worker) egressDrain() {
 			Data:       it.Data,
 			ModuleID:   it.Tenant,
 			EgressPort: it.Port,
+			Meta:       it.Meta,
 		})
+		drained += len(it.Data)
+		if byteBudget > 0 && drained >= byteBudget {
+			break
+		}
 	}
 	flush()
 }

@@ -1,14 +1,7 @@
-// Package fabric wires multiple Menshen pipelines into a small network,
-// the setting several of the paper's arguments live in: a tenant's module
-// can be "spread across multiple programmable devices" (§3.4 — the reason
-// modules must not rewrite their VID), virtual IPs are scoped per tenant
-// across the fabric (§3.3), and the control plane checks that a module's
-// routing tables are loop-free across devices before loading them (§3.4).
-//
-// The fabric is a directed port graph: (device, egress port) either ends
-// at a host or enters another device at some ingress port. Forwarding a
-// frame walks the graph through each pipeline's full data path, bounded
-// by a TTL so even a misconfigured fabric terminates.
+// The synchronous reference walker: one frame at a time through full
+// pipelines, breadth-first over the port graph. EngineFabric
+// (enginefabric.go) is the concurrent counterpart; the parity suite
+// holds the two to byte-identical per-host outputs.
 package fabric
 
 import (
@@ -16,47 +9,51 @@ import (
 	"fmt"
 
 	"repro/internal/core"
-	"repro/internal/packet"
 	"repro/internal/sysmod"
 )
 
-// Errors.
+// Errors surfaced by both fabric flavors.
 var (
+	// ErrUnknownDevice names a node that was never added.
 	ErrUnknownDevice = errors.New("fabric: unknown device")
-	ErrTTLExceeded   = errors.New("fabric: forwarding loop (TTL exceeded)")
+	// ErrTTLExceeded marks a frame still in flight after MaxHops
+	// devices — a forwarding loop the §3.4 control-plane check should
+	// have refused. The synchronous walker returns it; the engine
+	// fabric counts it per node (FabricStats.TTLDropped) and keeps
+	// serving.
+	ErrTTLExceeded = errors.New("fabric: forwarding loop (TTL exceeded)")
+	// ErrStarted is returned by topology mutations after Start.
+	ErrStarted = errors.New("fabric: already started")
 )
 
 // MaxHops bounds a frame's walk through the fabric.
 const MaxHops = 16
 
-// Node is one Menshen device in the fabric, with its system-module
-// configuration and traffic manager.
+// Node is one Menshen device in the synchronous fabric, with its
+// system-module configuration and traffic manager.
 type Node struct {
+	// Name identifies the device in links, traces, and deliveries.
 	Name string
+	// Pipe is the device's pipeline.
 	Pipe *core.Pipeline
-	Sys  *sysmod.Config
-	TM   *sysmod.TrafficManager
+	// Sys is the device's system-module configuration (routes, groups).
+	Sys *sysmod.Config
+	// TM is the device's egress replication engine.
+	TM *sysmod.TrafficManager
 }
 
-// endpoint is the far side of a directed link.
-type endpoint struct {
-	device  string
-	ingress uint8
-}
-
-// Fabric is the device graph.
+// Fabric is the synchronous device graph: every Inject walks one frame
+// (and its multicast copies) to completion before returning.
 type Fabric struct {
 	nodes map[string]*Node
-	// links maps (device, egress port) -> next hop. Ports without links
-	// deliver to a host (terminal).
-	links map[string]map[uint8]endpoint
+	topo  topology
 }
 
 // New returns an empty fabric.
 func New() *Fabric {
 	return &Fabric{
 		nodes: make(map[string]*Node),
-		links: make(map[string]map[uint8]endpoint),
+		topo:  newTopology(),
 	}
 }
 
@@ -79,34 +76,43 @@ func (f *Fabric) Node(name string) (*Node, error) {
 // Link connects (from, egress) to (to, ingress). Links are directed; add
 // both directions for a full-duplex cable.
 func (f *Fabric) Link(from string, egress uint8, to string, ingress uint8) error {
-	if _, ok := f.nodes[from]; !ok {
-		return fmt.Errorf("%w: %q", ErrUnknownDevice, from)
+	has := func(name string) bool { _, ok := f.nodes[name]; return ok }
+	if err := checkKnown(has, from, to); err != nil {
+		return err
 	}
-	if _, ok := f.nodes[to]; !ok {
-		return fmt.Errorf("%w: %q", ErrUnknownDevice, to)
-	}
-	if f.links[from] == nil {
-		f.links[from] = make(map[uint8]endpoint)
-	}
-	f.links[from][egress] = endpoint{device: to, ingress: ingress}
+	f.topo.addLink(from, egress, to, ingress)
 	return nil
 }
 
 // Delivery is one frame arriving at a terminal (host-facing) port.
 type Delivery struct {
+	// Device and Port locate the host-facing port the frame left on.
 	Device string
-	Port   uint8
-	Frame  []byte
-	Hops   int
+	// Port is the terminal egress port.
+	Port uint8
+	// Tenant is the frame's module (VLAN) ID.
+	Tenant uint16
+	// Frame is the delivered frame. On the synchronous walker it is the
+	// pipeline's output copy; on the engine fabric it is valid only for
+	// the duration of the Deliver callback (the engine reclaims the
+	// buffer afterwards) — copy anything retained.
+	Frame []byte
+	// Hops counts inter-device link crossings the frame made.
+	Hops int
 }
 
-// Trace records one device traversal.
+// Trace records one device traversal of the synchronous walker.
 type Trace struct {
-	Device  string
+	// Device is the traversed node.
+	Device string
+	// Ingress is the port the frame entered on.
 	Ingress uint8
-	Egress  []uint8
+	// Egress lists the ports the frame (and its multicast copies) left on.
+	Egress []uint8
+	// Dropped is true when the device discarded the frame.
 	Dropped bool
-	Reason  string
+	// Reason is the filter verdict behind a drop.
+	Reason string
 }
 
 // Inject pushes a frame into the fabric at (device, ingress) and walks it
@@ -146,10 +152,13 @@ func (f *Fabric) Inject(device string, ingress uint8, frame []byte) ([]Delivery,
 		}
 		for _, port := range n.TM.Expand(res.EgressPort) {
 			tr.Egress = append(tr.Egress, port)
-			if ep, linked := f.links[w.device][port]; linked {
+			if ep, linked := f.topo.next(w.device, port); linked {
 				queue = append(queue, work{ep.device, ep.ingress, res.Data, w.hops + 1})
 			} else {
-				out = append(out, Delivery{Device: w.device, Port: port, Frame: res.Data, Hops: w.hops})
+				out = append(out, Delivery{
+					Device: w.device, Port: port, Tenant: res.ModuleID,
+					Frame: res.Data, Hops: w.hops,
+				})
 			}
 		}
 		traces = append(traces, tr)
@@ -157,34 +166,13 @@ func (f *Fabric) Inject(device string, ingress uint8, frame []byte) ([]Delivery,
 	return out, traces, nil
 }
 
-// RouteHop mirrors checker.Hop for route collection.
-type RouteHop struct {
-	Dev  string
-	VIP  uint32
-	Next string
-}
-
 // ModuleRouteGraph collects a module's inter-device forwarding graph from
 // the system modules' routes and the fabric's links, the input to the
 // control-plane loop-freedom check (§3.4).
 func (f *Fabric) ModuleRouteGraph(moduleID uint16) []RouteHop {
-	var hops []RouteHop
+	sys := make(map[string]*sysmod.Config, len(f.nodes))
 	for name, n := range f.nodes {
-		for _, r := range n.Sys.Routes[moduleID] {
-			ep, linked := f.links[name][r.Port]
-			if !linked {
-				continue // local delivery: chain terminates
-			}
-			hops = append(hops, RouteHop{
-				Dev:  name,
-				VIP:  binaryAddr(r.VIP),
-				Next: ep.device,
-			})
-		}
+		sys[name] = n.Sys
 	}
-	return hops
-}
-
-func binaryAddr(a packet.IPv4Addr) uint32 {
-	return uint32(a[0])<<24 | uint32(a[1])<<16 | uint32(a[2])<<8 | uint32(a[3])
+	return f.topo.moduleRouteGraph(sys, moduleID)
 }

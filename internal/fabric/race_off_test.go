@@ -1,0 +1,7 @@
+//go:build !race
+
+package fabric
+
+// raceEnabled reports whether the race detector is active (alloc pins
+// are skipped under -race: the detector defeats sync.Pool reuse).
+const raceEnabled = false

@@ -29,6 +29,10 @@ type EgressItem struct {
 	// caller reclaims Data when the item is popped, evicted, or the
 	// queue is reset.
 	Data []byte
+	// Meta is the frame's opaque out-of-band word (core.BatchResult.Meta),
+	// carried through the queue untouched so scheduled delivery keeps the
+	// engine's per-frame metadata (fabric hop counts) intact.
+	Meta uint64
 	// Rank is the frame's virtual start time under start-time fair
 	// queueing (set by Push).
 	Rank float64
@@ -114,8 +118,10 @@ func (q *EgressQueue) Len() int { return len(q.heap) }
 //
 // When the queue is full and the new frame itself ranks worst, it is
 // rejected with no charge (accepted=false, hasEvicted=false) — the
-// caller keeps ownership of data.
-func (q *EgressQueue) Push(tenant uint16, port uint8, data []byte) (evicted EgressItem, hasEvicted, accepted bool) {
+// caller keeps ownership of data. meta is the frame's out-of-band
+// metadata word, returned untouched with the item on Pop (or with the
+// evicted item).
+func (q *EgressQueue) Push(tenant uint16, port uint8, data []byte, meta uint64) (evicted EgressItem, hasEvicted, accepted bool) {
 	w := q.weights[tenant]
 	if w == 0 {
 		w = 1
@@ -142,7 +148,7 @@ func (q *EgressQueue) Push(tenant uint16, port uint8, data []byte) (evicted Egre
 		}
 	}
 	q.lastFinish[tenant] = start + float64(len(data))/w
-	it := EgressItem{Tenant: tenant, Port: port, Data: data, Rank: start, seq: q.seq}
+	it := EgressItem{Tenant: tenant, Port: port, Data: data, Meta: meta, Rank: start, seq: q.seq}
 	q.seq++
 	q.heap = append(q.heap, it)
 	q.siftUp(len(q.heap) - 1)

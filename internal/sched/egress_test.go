@@ -46,10 +46,10 @@ func TestEgressQueueRankOrderDrain(t *testing.T) {
 	}
 	frame := make([]byte, 300)
 	for i := 0; i < 60; i++ {
-		if _, _, ok := q.Push(1, 0, frame); !ok {
+		if _, _, ok := q.Push(1, 0, frame, 0); !ok {
 			t.Fatal("unbounded push rejected")
 		}
-		if _, _, ok := q.Push(2, 0, frame); !ok {
+		if _, _, ok := q.Push(2, 0, frame, 0); !ok {
 			t.Fatal("unbounded push rejected")
 		}
 	}
@@ -79,7 +79,7 @@ func TestEgressQueueFIFOWithinEqualRank(t *testing.T) {
 	q := NewEgressQueue(0)
 	frame := make([]byte, 100)
 	for tenant := uint16(1); tenant <= 8; tenant++ {
-		if _, _, ok := q.Push(tenant, 0, frame); !ok {
+		if _, _, ok := q.Push(tenant, 0, frame, 0); !ok {
 			t.Fatal("push rejected")
 		}
 	}
@@ -101,13 +101,13 @@ func TestEgressQueuePushOutEvictsWorst(t *testing.T) {
 	frame := make([]byte, 100)
 	// Tenant 2 fills the queue: its 4 frames rank 0,100,200,300.
 	for i := 0; i < 4; i++ {
-		if _, ev, ok := q.Push(2, 0, frame); !ok || ev {
+		if _, ev, ok := q.Push(2, 0, frame, 0); !ok || ev {
 			t.Fatalf("fill push %d: accepted=%v evicted=%v", i, ok, ev)
 		}
 	}
 	// Tenant 1 is idle, so its frame ranks 0 — it must displace tenant
 	// 2's worst (rank 300), not be tail-dropped.
-	ev, hasEv, ok := q.Push(1, 0, frame)
+	ev, hasEv, ok := q.Push(1, 0, frame, 0)
 	if !ok || !hasEv {
 		t.Fatalf("in-share push: accepted=%v evicted=%v", ok, hasEv)
 	}
@@ -129,7 +129,7 @@ func TestEgressQueueRejectDoesNotCharge(t *testing.T) {
 	_ = q.SetWeight(1, 1)
 	frame := make([]byte, 100)
 	for i := 0; i < 2; i++ {
-		if _, _, ok := q.Push(1, 0, frame); !ok {
+		if _, _, ok := q.Push(1, 0, frame, 0); !ok {
 			t.Fatal("fill push rejected")
 		}
 	}
@@ -137,7 +137,7 @@ func TestEgressQueueRejectDoesNotCharge(t *testing.T) {
 	// The queue is full and every new frame of tenant 1 ranks worst
 	// (its own frames are the whole queue): all rejected, none charged.
 	for i := 0; i < 50; i++ {
-		if _, hasEv, ok := q.Push(1, 0, frame); ok || hasEv {
+		if _, hasEv, ok := q.Push(1, 0, frame, 0); ok || hasEv {
 			t.Fatalf("over-limit push %d: accepted=%v evicted=%v", i, ok, hasEv)
 		}
 	}
@@ -147,7 +147,7 @@ func TestEgressQueueRejectDoesNotCharge(t *testing.T) {
 	}
 	// After draining one, the next push lands at the pre-reject finish.
 	it, _ := q.Pop()
-	if _, _, ok := q.Push(1, 0, frame); !ok {
+	if _, _, ok := q.Push(1, 0, frame, 0); !ok {
 		t.Fatal("post-drain push rejected")
 	}
 	// it.Rank = 0 was the first frame; the new frame's rank must be the
@@ -163,7 +163,7 @@ func TestEgressQueueClearTenant(t *testing.T) {
 	_ = q.SetWeight(7, 2)
 	frame := make([]byte, 500)
 	for i := 0; i < 10; i++ {
-		q.Push(7, 0, frame)
+		q.Push(7, 0, frame, 0)
 	}
 	if _, ok := q.Weight(7); !ok {
 		t.Fatal("weight not recorded")
@@ -178,7 +178,7 @@ func TestEgressQueueClearTenant(t *testing.T) {
 	// A "re-loaded" tenant starts from virtual time, not from its old
 	// finish (which had reached 10*500/2 = 2500).
 	_ = q.SetWeight(7, 2)
-	if _, _, ok := q.Push(7, 0, frame); !ok {
+	if _, _, ok := q.Push(7, 0, frame, 0); !ok {
 		t.Fatal("push rejected")
 	}
 	if got, want := q.lastFinish[7], q.vtime+500.0/2; got != want {
@@ -192,8 +192,8 @@ func TestEgressQueueImplicitWeightOne(t *testing.T) {
 	q := NewEgressQueue(0)
 	frame := make([]byte, 100)
 	for i := 0; i < 50; i++ {
-		q.Push(1, 0, frame)
-		q.Push(2, 0, frame)
+		q.Push(1, 0, frame, 0)
+		q.Push(2, 0, frame, 0)
 	}
 	counts := map[uint16]int{}
 	for i := 0; i < 50; i++ {
@@ -228,7 +228,7 @@ func TestEgressQueueHeapProperty(t *testing.T) {
 		for op := 0; op < 500; op++ {
 			if rng.Intn(3) != 0 {
 				frame := make([]byte, 60+rng.Intn(1400))
-				q.Push(uint16(1+rng.Intn(5)), 0, frame)
+				q.Push(uint16(1+rng.Intn(5)), 0, frame, 0)
 			} else {
 				q.Pop()
 			}
@@ -261,11 +261,11 @@ func TestEgressQueueZeroAllocSteadyState(t *testing.T) {
 	_ = q.SetWeight(2, 1)
 	frame := make([]byte, 512)
 	for i := 0; i < 512; i++ { // warm the maps and fill the heap
-		q.Push(uint16(1+i%2), 0, frame)
+		q.Push(uint16(1+i%2), 0, frame, 0)
 	}
 	allocs := testing.AllocsPerRun(200, func() {
-		q.Push(1, 0, frame)
-		q.Push(2, 0, frame)
+		q.Push(1, 0, frame, 0)
+		q.Push(2, 0, frame, 0)
 		q.Pop()
 		q.Pop()
 	})
@@ -287,7 +287,7 @@ func BenchmarkEgressQueue(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		q.Push(uint16(i%8+1), 0, frame)
+		q.Push(uint16(i%8+1), 0, frame, 0)
 		q.Pop()
 	}
 }

@@ -1,17 +1,5 @@
-// Package sched implements the two traffic-management mechanisms the
-// paper delegates to the edges of the pipeline:
-//
-//   - Per-module token-bucket rate limiters (§5: "hardware rate limiters
-//     can be used to limit each module's packet/bit rate" when the
-//     minimum-size or no-recirculation assumptions are violated).
-//   - A PIFO (push-in first-out) scheduler (§3.5: "Proposals like PIFO
-//     can be used here, by assigning PIFO ranks to different modules to
-//     realize a desired inter-module bandwidth-sharing policy"), with a
-//     start-time-fair-queueing rank policy for weighted sharing of the
-//     output link.
-//
-// Both operate on a simulated clock supplied by the caller (seconds), so
-// experiments are deterministic.
+// Token buckets and the reference WFQ+PIFO scheduler; see doc.go for
+// the package contract and the EgressQueue fast path's invariants.
 package sched
 
 import (
@@ -173,10 +161,13 @@ func (r *RateLimiter) Limit(moduleID uint16) (ModuleLimit, bool) {
 
 // Item is one queued packet in a PIFO.
 type Item struct {
+	// ModuleID is the frame's owning module (tenant).
 	ModuleID uint16
-	Frame    []byte
-	Rank     float64
-	seq      uint64 // FIFO tiebreak for equal ranks
+	// Frame is the queued frame.
+	Frame []byte
+	// Rank orders the queue; lower drains first.
+	Rank float64
+	seq  uint64 // FIFO tiebreak for equal ranks
 }
 
 // PIFO is a push-in first-out queue: entries are pushed with a rank and
@@ -308,7 +299,9 @@ func (w *WFQ) OnPop(it Item) {
 // Scheduler couples a WFQ rank policy with a PIFO queue to share an
 // output link between modules (§3.5's suggested design).
 type Scheduler struct {
-	WFQ  *WFQ
+	// WFQ assigns each frame's rank (virtual start time).
+	WFQ *WFQ
+	// PIFO holds ranked frames and drains them in rank order.
 	PIFO *PIFO
 }
 

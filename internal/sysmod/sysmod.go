@@ -268,6 +268,12 @@ func (tm *TrafficManager) Expand(port uint8) []uint8 {
 	return []uint8{port}
 }
 
+// Members is the allocation-free form of Expand for hot paths: it
+// returns the group's member ports (shared slice — callers must not
+// modify it) or nil when the port is not a registered group, meaning
+// the frame goes out the port itself.
+func (tm *TrafficManager) Members(port uint8) []uint8 { return tm.groups[port] }
+
 // PacketCount reads the first-stage per-module packet counter maintained
 // by the statistics service.
 func PacketCount(p *core.Pipeline, moduleID uint16) (uint64, error) {

@@ -100,6 +100,33 @@ func ContentionScenario(seed uint64, frameBytes int, loads ...TenantLoad) *Scena
 	return NewScenario(seed, eq...)
 }
 
+// FabricScenario builds a multi-node fabric workload: every tenant
+// offers generic flow-diverse UDP frames addressed to the given
+// fabric-routed virtual IP, so where a frame is delivered is decided
+// by each node's system-module routing (§3.3 tenant-scoped vIPs), not
+// by the program payload. Tenants interleave with equal weight; flows
+// per tenant spread the stream across each node's worker shards.
+func FabricScenario(seed uint64, vip packet.IPv4Addr, frameBytes, flows int, tenants ...uint16) *Scenario {
+	if flows <= 0 {
+		flows = 4
+	}
+	loads := make([]TenantLoad, len(tenants))
+	for i, id := range tenants {
+		id := id
+		prng := NewPRNG(seed ^ uint64(id)<<32)
+		loads[i] = TenantLoad{
+			ModuleID:   id,
+			FrameBytes: frameBytes,
+			Flows:      flows,
+			Gen: func(i int) []byte {
+				src := packet.IPv4Addr{10, 0, byte(id), byte(prng.Intn(4))}
+				return FlowPacket(id, src, vip, uint16(1000+i%flows), uint16(80+prng.Intn(3)), frameBytes)
+			},
+		}
+	}
+	return NewScenario(seed, loads...)
+}
+
 // Total returns how many frames the scenario has generated so far.
 func (s *Scenario) Total() int {
 	n := 0

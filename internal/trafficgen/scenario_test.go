@@ -3,6 +3,8 @@ package trafficgen
 import (
 	"encoding/binary"
 	"testing"
+
+	"repro/internal/packet"
 )
 
 func frameVLAN(t *testing.T, f []byte) uint16 {
@@ -68,6 +70,45 @@ func TestDefaultGenFrameSizes(t *testing.T) {
 		f := gen(0)
 		if len(f) != 256 {
 			t.Errorf("%s: frame size %d, want 256", prog, len(f))
+		}
+	}
+}
+
+func TestFabricScenario(t *testing.T) {
+	vip := packet.IPv4Addr{10, 9, 9, 9}
+	sc := FabricScenario(5, vip, 0, 4, 1, 2)
+	frames := sc.NextBatch(nil, 80)
+	if len(frames) != 80 {
+		t.Fatalf("generated %d frames, want 80", len(frames))
+	}
+	tenants := map[uint16]int{}
+	flows := map[uint16]map[uint16]bool{}
+	for _, f := range frames {
+		var p packet.Packet
+		if err := packet.Decode(f, &p); err != nil {
+			t.Fatal(err)
+		}
+		id := p.ModuleID()
+		tenants[id]++
+		// Every frame addresses the fabric-routed vIP: delivery is
+		// decided by per-node routes, not by the payload.
+		const dstOff = 14 + 4 + 16
+		if [4]byte(f[dstOff:dstOff+4]) != vip {
+			t.Fatalf("frame dst %v, want %v", f[dstOff:dstOff+4], vip)
+		}
+		const sportOff = 14 + 4 + 20
+		if flows[id] == nil {
+			flows[id] = map[uint16]bool{}
+		}
+		flows[id][binary.BigEndian.Uint16(f[sportOff:])] = true
+	}
+	// Equal interleave across tenants, flow diversity within each.
+	if tenants[1] != 40 || tenants[2] != 40 {
+		t.Errorf("tenant mix %v, want 40/40", tenants)
+	}
+	for id, fl := range flows {
+		if len(fl) != 4 {
+			t.Errorf("tenant %d: %d distinct flows, want 4", id, len(fl))
 		}
 	}
 }

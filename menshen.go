@@ -328,10 +328,10 @@ func (d *Device) Modules() []uint16 { return d.alloc.Loaded() }
 type Result struct {
 	// Output is the processed frame (nil when dropped).
 	Output []byte
-	// Dropped reports whether the pipeline discarded the frame; Reason
-	// says why.
+	// Dropped reports whether the pipeline discarded the frame.
 	Dropped bool
-	Reason  string
+	// Reason names the filter verdict (or module discard) behind a drop.
+	Reason string
 	// ModuleID is the VLAN-carried module ID.
 	ModuleID uint16
 	// EgressPorts lists the output ports after traffic-manager multicast

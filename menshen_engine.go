@@ -69,6 +69,11 @@ type EngineConfig struct {
 	// slower than the pipeline: the scheduler then arbitrates the
 	// backlog and the weighted shares show up in the delivered stream.
 	EgressQuantum int
+	// EgressQuantumBytes, when > 0, additionally caps each service
+	// cycle's delivered bytes — the TX link modeled in its natural
+	// unit, so mixed frame sizes drain fair shares by bytes rather
+	// than frames. At least one frame is delivered per cycle.
+	EgressQuantumBytes int
 }
 
 // Engine is a running concurrent dataplane created by Device.NewEngine.
@@ -91,18 +96,19 @@ func (d *Device) NewEngine(cfg EngineConfig) (*Engine, error) {
 		specs = append(specs, engine.ModuleSpec{Config: m.program.Config, Placement: m.placement})
 	}
 	e, err := engine.New(engine.Config{
-		Workers:          cfg.Workers,
-		QueueDepth:       cfg.QueueDepth,
-		BatchSize:        cfg.BatchSize,
-		DropOnFull:       cfg.DropOnFull,
-		FixedBatch:       cfg.FixedBatch,
-		Geometry:         d.pipe.Geometry,
-		Options:          d.pipe.Options,
-		Modules:          specs,
-		OnBatch:          cfg.OnBatch,
-		EgressWeights:    cfg.EgressWeights,
-		EgressQueueLimit: cfg.EgressQueueLimit,
-		EgressQuantum:    cfg.EgressQuantum,
+		Workers:            cfg.Workers,
+		QueueDepth:         cfg.QueueDepth,
+		BatchSize:          cfg.BatchSize,
+		DropOnFull:         cfg.DropOnFull,
+		FixedBatch:         cfg.FixedBatch,
+		Geometry:           d.pipe.Geometry,
+		Options:            d.pipe.Options,
+		Modules:            specs,
+		OnBatch:            cfg.OnBatch,
+		EgressWeights:      cfg.EgressWeights,
+		EgressQueueLimit:   cfg.EgressQueueLimit,
+		EgressQuantum:      cfg.EgressQuantum,
+		EgressQuantumBytes: cfg.EgressQuantumBytes,
 	})
 	if err != nil {
 		return nil, err
