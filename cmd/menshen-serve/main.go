@@ -17,6 +17,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -28,6 +30,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/fabric"
+	"repro/internal/obs"
 	"repro/internal/p4progs"
 	"repro/internal/packet"
 	"repro/internal/sysmod"
@@ -61,21 +64,30 @@ func main() {
 	fabricTenants := flag.Int("fabric-tenants", 3, "tenants to load on every fabric node")
 	fabricRing := flag.Bool("fabric-ring", false,
 		"close the fabric chain into a ring with a looping route: the §3.4 check refuses it, and the run demonstrates the TTL bound converting the loop into counted drops")
+	mgmtAddr := flag.String("mgmt-addr", "",
+		"mount the management HTTP API (GET /metrics, /stats, /traces, /debug/pprof/*; POST /control/*) on this address (e.g. :9090; empty = off)")
+	mgmtLinger := flag.Duration("mgmt-linger", 0,
+		"keep the engine and management API alive this long after the traffic run, so scrapes and control mutations can land against a live dataplane")
+	traceEvery := flag.Int("trace-every", 0,
+		"sample every Nth submitted frame into the trace ring (GET /traces); 0 = off")
 	flag.Parse()
 
 	if *fabricNodes > 0 {
 		runFabric(fabricRun{
-			nodes:   *fabricNodes,
-			tenants: *fabricTenants,
-			ring:    *fabricRing,
-			workers: *workers,
-			batch:   *batch,
-			queue:   *queue,
-			packets: *packets,
-			size:    *size,
-			flows:   *flows,
-			seed:    *seed,
-			drop:    *drop,
+			nodes:      *fabricNodes,
+			tenants:    *fabricTenants,
+			ring:       *fabricRing,
+			workers:    *workers,
+			batch:      *batch,
+			queue:      *queue,
+			packets:    *packets,
+			size:       *size,
+			flows:      *flows,
+			seed:       *seed,
+			drop:       *drop,
+			mgmtAddr:   *mgmtAddr,
+			mgmtLinger: *mgmtLinger,
+			traceEvery: *traceEvery,
 		})
 		return
 	}
@@ -140,7 +152,8 @@ func main() {
 		}
 	}
 
-	eng, err := dev.NewEngine(menshen.EngineConfig{
+	var tracer *obs.Tracer
+	engCfg := menshen.EngineConfig{
 		Workers:            *workers,
 		BatchSize:          *batch,
 		QueueDepth:         *queue,
@@ -149,9 +162,32 @@ func main() {
 		EgressQueueLimit:   *egressQueue,
 		EgressQuantum:      *egressQuantum,
 		EgressQuantumBytes: *egressQuantumBytes,
-	})
+	}
+	if *traceEvery > 0 {
+		tracer = obs.NewTracer(4096)
+		engCfg.TraceEvery = *traceEvery
+		engCfg.OnTrace = tracer.Hook("")
+	}
+	eng, err := dev.NewEngine(engCfg)
 	if err != nil {
 		fatal(err)
+	}
+	var mgmtLn net.Listener
+	if *mgmtAddr != "" {
+		srv := obs.NewServer(tracer, obs.Ops{
+			LoadModule: func(source string, id uint16) (uint64, error) {
+				_, gen, err := eng.LoadModule(source, id)
+				return gen, err
+			},
+			UnloadModule:    eng.UnloadModule,
+			SetEgressWeight: eng.SetEgressWeight,
+			SetTenantLimit: func(tenant uint16, pps, bps float64) (uint64, error) {
+				eng.SetTenantLimit(tenant, pps, bps)
+				return eng.ReconfigGen(), nil
+			},
+			AwaitQuiesce: eng.AwaitQuiesce,
+		}, obs.Source{StatsInto: eng.StatsInto})
+		mgmtLn = startMgmt(*mgmtAddr, srv)
 	}
 	if *ratePPS > 0 || *rateBPS > 0 {
 		for _, l := range loads {
@@ -258,8 +294,27 @@ func main() {
 		}
 	}
 
+	// Linger keeps the engine and management API alive past the traffic
+	// run: scrapes see a live dataplane and control mutations still ride
+	// the fenced queue. The final report below re-snapshots afterwards
+	// so linger-era mutations (e.g. a POSTed egress weight) show up.
+	if mgmtLn != nil && *mgmtLinger > 0 {
+		fmt.Printf("mgmt: lingering %v (engine live; ctrl-c to stop early)\n", *mgmtLinger)
+		time.Sleep(*mgmtLinger)
+		eng.StatsInto(&st)
+	}
+	if mgmtLn != nil {
+		_ = mgmtLn.Close()
+	}
+
 	if err := eng.Close(); err != nil {
 		fatal(err)
+	}
+
+	if tracer != nil {
+		fmt.Printf("\n--- tracing ---\n")
+		fmt.Printf("sampled 1-in-%d: %d hops recorded (GET /traces serves the most recent)\n",
+			*traceEvery, tracer.Total())
 	}
 
 	fmt.Printf("\n--- tenants ---\n")
@@ -326,6 +381,22 @@ type fabricRun struct {
 	packets, size, flows  int
 	seed                  uint64
 	drop                  bool
+	mgmtAddr              string
+	mgmtLinger            time.Duration
+	traceEvery            int
+}
+
+// startMgmt mounts the management API on addr and serves it from a
+// background goroutine, printing the bound address (which the smoke
+// test parses) and returning the listener so the caller can close it.
+func startMgmt(addr string, srv *obs.Server) net.Listener {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("mgmt: listening on http://%s\n", ln.Addr())
+	go func() { _ = http.Serve(ln, srv.Handler()) }()
+	return ln
 }
 
 // runFabric drives a multi-node engine fabric: a chain (or ring) of
@@ -340,6 +411,11 @@ func runFabric(r fabricRun) {
 	}
 
 	fab := fabric.NewEngineFabric(nil) // deliveries are counted, not retained
+	var tracer *obs.Tracer
+	if r.traceEvery > 0 {
+		tracer = obs.NewTracer(4096)
+		fab.Trace = tracer.Record
+	}
 	for i := 0; i < r.nodes; i++ {
 		name := fmt.Sprintf("s%d", i)
 		sys := sysmod.NewConfig()
@@ -366,12 +442,19 @@ func runFabric(r fabricRun) {
 			}
 			specs = append(specs, engine.ModuleSpec{Config: prog.Config, Placement: pl})
 		}
+		nodeTraceEvery := 0
+		if i == 0 {
+			// Sampling happens once, at the fabric's entry node; the mark
+			// then rides the out-of-band meta across every hop.
+			nodeTraceEvery = r.traceEvery
+		}
 		if _, err := fab.AddNode(name, sys, fabric.NodeConfig{
 			Workers:    r.workers,
 			QueueDepth: r.queue,
 			BatchSize:  r.batch,
 			DropOnFull: r.drop,
 			Modules:    specs,
+			TraceEvery: nodeTraceEvery,
 		}); err != nil {
 			fatal(err)
 		}
@@ -408,6 +491,34 @@ func runFabric(r fabricRun) {
 	if err := fab.Start(); err != nil {
 		fatal(err)
 	}
+	var mgmtLn net.Listener
+	if r.mgmtAddr != "" {
+		sources := make([]obs.Source, 0, r.nodes)
+		for i := 0; i < r.nodes; i++ {
+			name := fmt.Sprintf("s%d", i)
+			n, err := fab.Node(name)
+			if err != nil {
+				fatal(err)
+			}
+			sources = append(sources, obs.Source{Node: name, StatsInto: n.Eng.StatsInto})
+		}
+		// Mutations target the entry node's control plane; the other
+		// nodes' engines are reachable the same way if needed.
+		entry, err := fab.Node("s0")
+		if err != nil {
+			fatal(err)
+		}
+		srv := obs.NewServer(tracer, obs.Ops{
+			UnloadModule:    entry.Eng.UnloadModuleLive,
+			SetEgressWeight: entry.Eng.SetEgressWeight,
+			SetTenantLimit: func(tenant uint16, pps, bps float64) (uint64, error) {
+				entry.Eng.SetTenantLimit(tenant, pps, bps)
+				return entry.Eng.ReconfigGen(), nil
+			},
+			AwaitQuiesce: entry.Eng.AwaitQuiesce,
+		}, sources...)
+		mgmtLn = startMgmt(r.mgmtAddr, srv)
+	}
 	sc := trafficgen.FabricScenario(r.seed, vip, r.size, r.flows, ids...)
 	var frames [][]byte
 	start := time.Now()
@@ -424,9 +535,20 @@ func runFabric(r fabricRun) {
 	}
 	fab.Drain()
 	wall := time.Since(start)
+	if mgmtLn != nil && r.mgmtLinger > 0 {
+		fmt.Printf("mgmt: lingering %v (fabric live; ctrl-c to stop early)\n", r.mgmtLinger)
+		time.Sleep(r.mgmtLinger)
+	}
+	if mgmtLn != nil {
+		_ = mgmtLn.Close()
+	}
 	st := fab.Stats()
 	if err := fab.Close(); err != nil {
 		fatal(err)
+	}
+	if tracer != nil {
+		fmt.Printf("traced hops recorded: %d (sampled 1-in-%d at s0, one hop per node traversed)\n",
+			tracer.Total(), r.traceEvery)
 	}
 
 	fmt.Printf("\n--- nodes ---\n")

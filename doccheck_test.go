@@ -22,6 +22,7 @@ var docCheckedDirs = []string{
 	"internal/engine",
 	"internal/sched",
 	"internal/fabric",
+	"internal/obs",
 }
 
 // TestExportedDocComments fails for every exported type, function,

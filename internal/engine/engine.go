@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -27,6 +28,35 @@ const (
 	DefaultQueueDepth = 1024
 	DefaultBatchSize  = 32
 )
+
+// TraceBit flags a sampled frame in the out-of-band meta word
+// (BatchResult.Meta). It is the highest of the 56 carried meta bits,
+// well clear of the low byte the fabric uses for hop counts, and is
+// preserved across ForwardBatch hand-offs — so a frame sampled at its
+// entry engine stays sampled at every downstream engine. The trace
+// mark never touches the frame bytes.
+const TraceBit uint64 = 1 << 55
+
+// TraceHop is one sampled frame's record of service by a worker
+// shard, delivered to Config.OnTrace right after pipeline processing.
+// The value is self-contained; retaining it is safe.
+type TraceHop struct {
+	// Worker is the servicing shard's ID.
+	Worker int
+	// Tenant is the frame's tenant (module) ID.
+	Tenant uint16
+	// QueueDepth is the shard's remaining RX backlog (frames still
+	// queued across its rings) when the frame's batch was taken — the
+	// congestion the frame saw at this hop.
+	QueueDepth int
+	// Meta is the frame's full out-of-band word (TraceBit set; on a
+	// fabric path the low byte is the hop count).
+	Meta uint64
+	// Dropped reports whether the pipeline discarded the frame.
+	Dropped bool
+	// UnixNano is the wall-clock time the hop was recorded.
+	UnixNano int64
+}
 
 // ModuleSpec is one module to install into every worker's pipeline
 // replica: the compiled configuration plus the placement the resource
@@ -112,6 +142,24 @@ type Config struct {
 	// delivered per cycle, and EgressQuantum still caps the frame count.
 	EgressQuantumBytes int
 
+	// TraceEvery, when > 0, samples one in every TraceEvery frames
+	// entering through the local submit paths (Submit/SubmitBatch,
+	// their owned forms, and InjectBatch): the sampled frame's
+	// out-of-band meta word gets TraceBit, which rides to OnTrace and
+	// OnBatch and survives ForwardBatch hand-offs. Frames arriving via
+	// ForwardBatch are never re-sampled — their metas (including any
+	// upstream trace mark) are the sender's. 0 disables sampling;
+	// sampling without OnTrace (or vice versa) is allowed, e.g. an
+	// entry node samples while only downstream nodes record.
+	TraceEvery int
+	// OnTrace, when set, observes every processed frame whose meta
+	// carries TraceBit, on the worker goroutine right after pipeline
+	// processing (before any egress scheduling — the hop timestamp is
+	// service time, not delivery time). It must be fast and must not
+	// block; with sampling off or no marked frames it costs one
+	// predicted branch per batch.
+	OnTrace func(TraceHop)
+
 	// Pool, when set, replaces the engine's private buffer pool —
 	// normally with a NewPool instance shared by several engines, so
 	// that owned buffers handed between them (ForwardBatch) keep
@@ -132,6 +180,11 @@ type Engine struct {
 	mu      sync.Mutex // guards lifecycle state and control-op fan-out
 	closed  bool
 	scratch sync.Pool // *submitScratch
+
+	// traceCtr is the global frame ordinal behind TraceEvery sampling:
+	// one atomic add per submit call claims the batch's ordinal range,
+	// and the frames landing on a multiple of TraceEvery get TraceBit.
+	traceCtr atomic.Uint64
 
 	// pool recycles frame buffers across batches: Submit copies into it,
 	// SubmitOwned borrows from it, and workers release buffers back to
@@ -367,6 +420,16 @@ func (e *Engine) submitBatch(frames [][]byte, o submitOpts) (int, error) {
 	if hasLimits {
 		now = time.Since(e.start).Seconds() // one clock read per call, not per frame
 	}
+	// Trace sampling: claim this call's frame-ordinal range with one
+	// atomic add; the frames whose global ordinal lands on a multiple
+	// of TraceEvery get TraceBit in their out-of-band word. Forwarded
+	// frames (explicit metas — a fabric hand-off) keep the sender's
+	// marks and are never re-sampled.
+	var traceEvery, traceOrigin uint64
+	if te := e.cfg.TraceEvery; te > 0 && o.metas == nil {
+		traceEvery = uint64(te)
+		traceOrigin = e.traceCtr.Add(uint64(len(frames))) - uint64(len(frames))
+	}
 	for fi, f := range frames {
 		if o.trusted && reconfig.IsReconfigFrame(f) {
 			// Trusted control path: a well-formed reconfiguration frame
@@ -411,6 +474,9 @@ func (e *Engine) submitBatch(frames [][]byte, o submitOpts) (int, error) {
 		aux := uint64(o.ingress)
 		if o.metas != nil {
 			aux |= o.metas[fi] << 8
+		}
+		if traceEvery != 0 && (traceOrigin+uint64(fi))%traceEvery == 0 {
+			aux |= TraceBit << 8
 		}
 		sc.frames[wid] = append(sc.frames[wid], buf)
 		sc.tenants[wid] = append(sc.tenants[wid], tenant)

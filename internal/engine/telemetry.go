@@ -59,15 +59,51 @@ func (h *latHist) observe(ns int64) {
 	h.buckets[bits.Len64(uint64(ns))].Add(1)
 }
 
-// quantile returns an approximate q-quantile in nanoseconds (geometric
-// bucket midpoint), or 0 with no observations.
-func (h *latHist) quantile(q float64) float64 {
-	var total uint64
-	var counts [64]uint64
+// snapshotInto copies the live bucket counters into an exported
+// snapshot value.
+func (h *latHist) snapshotInto(dst *LatencyHistogram) {
 	for i := range h.buckets {
-		counts[i] = h.buckets[i].Load()
-		total += counts[i]
+		dst.Buckets[i] = h.buckets[i].Load()
 	}
+}
+
+// LatencyHistogram is a point-in-time copy of a worker's log2-bucketed
+// batch-service-latency histogram. Buckets[i] counts sampled batches
+// whose service time ns satisfied bits.Len64(ns) == i, i.e. fell in
+// [2^(i-1), 2^i) nanoseconds. Counts are cumulative since engine
+// start; use Sub to window two snapshots into a per-interval
+// histogram (what a metrics scraper wants for interval-accurate
+// p50/p99). SumNs is the total sampled service time, so a Prometheus
+// exporter can emit the histogram's _sum alongside the buckets.
+type LatencyHistogram struct {
+	// Buckets holds the per-bucket observation counts (log2 scale, see
+	// the type comment).
+	Buckets [64]uint64
+	// SumNs is the summed service time of the sampled batches, in
+	// nanoseconds.
+	SumNs uint64
+}
+
+// Count is the histogram's total observation count.
+func (h *LatencyHistogram) Count() uint64 {
+	var total uint64
+	for _, c := range h.Buckets {
+		total += c
+	}
+	return total
+}
+
+// Quantile returns the approximate q-quantile (geometric bucket
+// midpoint). q is clamped to [0, 1]; an empty histogram returns 0 —
+// never NaN — so pollers can render an idle or freshly windowed
+// worker without special-casing.
+func (h *LatencyHistogram) Quantile(q float64) time.Duration {
+	if math.IsNaN(q) || q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	total := h.Count()
 	if total == 0 {
 		return 0
 	}
@@ -76,18 +112,35 @@ func (h *latHist) quantile(q float64) float64 {
 		rank = total - 1
 	}
 	var seen uint64
-	for i, c := range counts {
+	for i, c := range h.Buckets {
 		seen += c
-		if seen > rank {
+		if c != 0 && seen > rank {
 			if i == 0 {
 				return 0
 			}
 			lo := math.Exp2(float64(i - 1))
 			hi := math.Exp2(float64(i))
-			return math.Sqrt(lo * hi) // geometric midpoint of the bucket
+			return time.Duration(math.Sqrt(lo * hi)) // geometric midpoint of the bucket
 		}
 	}
 	return 0
+}
+
+// Sub returns the windowed histogram h - prev: the observations that
+// arrived after prev was taken. Both snapshots must come from the same
+// worker with h taken later; buckets are monotonic, so any apparent
+// underflow (a misuse) saturates at zero rather than wrapping.
+func (h *LatencyHistogram) Sub(prev *LatencyHistogram) LatencyHistogram {
+	var d LatencyHistogram
+	for i := range h.Buckets {
+		if h.Buckets[i] > prev.Buckets[i] {
+			d.Buckets[i] = h.Buckets[i] - prev.Buckets[i]
+		}
+	}
+	if h.SumNs > prev.SumNs {
+		d.SumNs = h.SumNs - prev.SumNs
+	}
+	return d
 }
 
 // telemetry is the engine-wide registry.
@@ -180,6 +233,19 @@ type WorkerStats struct {
 	// the configured BatchSize when adaptation is disabled or the shard
 	// is saturated; sinks toward 1 when its rings run shallow).
 	BatchTarget int
+	// Pending is the point-in-time frame count queued in the shard's RX
+	// rings (including frames held by tenant fences).
+	Pending int
+	// EgressBacklog is the point-in-time frame count queued in the
+	// shard's §3.5 egress PIFO (0 when egress scheduling is off).
+	EgressBacklog int
+	// Sampled counts the batches whose service time was actually
+	// clocked (timing is sampled 1-in-8); it equals Latency.Count().
+	Sampled uint64
+	// Latency is the cumulative-since-start histogram behind
+	// P50BatchLatency/P99BatchLatency. Window two snapshots with
+	// LatencyHistogram.Sub for scrape-interval quantiles.
+	Latency LatencyHistogram
 	// ReconfigGen is the shard's applied reconfiguration generation;
 	// when it equals Stats.ReconfigIssued the shard has applied every
 	// control operation issued so far.
@@ -289,9 +355,11 @@ func (s Stats) EgressShare(tenant uint16) float64 {
 }
 
 // snapshotInto fills st, reusing its tenant map and worker slice when
-// present so a caller polling stats in a loop (the serve CLI, a
-// monitoring goroutine) allocates only on its first call — not one map
-// plus one slice per poll.
+// present so a caller polling stats in a loop (the serve CLI, the obs
+// exporter, a monitoring goroutine) allocates only on its first call —
+// not one map plus one slice per poll. The receiver is the caller's:
+// it is written only during the call and never retained, but two
+// goroutines must not poll into the same receiver concurrently.
 func (t *telemetry) snapshotInto(st *Stats, workers []*worker, uptime time.Duration) {
 	if st.Tenants == nil {
 		st.Tenants = make(map[uint16]TenantStats)
@@ -322,22 +390,29 @@ func (t *telemetry) snapshotInto(st *Stats, workers []*worker, uptime time.Durat
 		ws := WorkerStats{
 			Batches:         w.stats.Batches.Load(),
 			Frames:          w.stats.Frames.Load(),
-			P50BatchLatency: time.Duration(w.stats.latency.quantile(0.50)),
-			P99BatchLatency: time.Duration(w.stats.latency.quantile(0.99)),
 			BatchTarget:     int(w.batchTarget.Load()),
+			Sampled:         w.stats.Sampled.Load(),
 			ReconfigGen:     w.genApplied.Load(),
 			ReconfigApplied: w.stats.ReconfigApplied.Load(),
 			ReconfigFailed:  w.stats.ReconfigFailed.Load(),
 		}
+		w.stats.latency.snapshotInto(&ws.Latency)
+		ws.Latency.SumNs = w.stats.BusyNs.Load()
+		ws.P50BatchLatency = ws.Latency.Quantile(0.50)
+		ws.P99BatchLatency = ws.Latency.Quantile(0.99)
+		w.mu.Lock()
+		ws.Pending = w.pending
+		ws.EgressBacklog = w.egBacklog
+		w.mu.Unlock()
 		if ws.BatchTarget == 0 || w.eng.cfg.FixedBatch {
 			ws.BatchTarget = w.eng.cfg.BatchSize
 		}
 		st.ReconfigApplied += ws.ReconfigApplied
 		st.ReconfigFailed += ws.ReconfigFailed
-		if sampled := w.stats.Sampled.Load(); sampled > 0 {
+		if ws.Sampled > 0 {
 			// float64 keeps long-running engines from overflowing the
 			// uint64 product of two growing counters.
-			ws.Busy = time.Duration(float64(w.stats.BusyNs.Load()) / float64(sampled) * float64(ws.Batches))
+			ws.Busy = time.Duration(float64(ws.Latency.SumNs) / float64(ws.Sampled) * float64(ws.Batches))
 		}
 		st.Workers = append(st.Workers, ws)
 	}

@@ -267,6 +267,7 @@ func (w *worker) run() {
 			}
 		}
 		w.pending -= n
+		depth := w.pending // remaining backlog, recorded on traced hops
 		w.busy = true
 		w.mu.Unlock()
 		w.notFull.Broadcast() // ring space freed
@@ -323,6 +324,24 @@ func (w *worker) run() {
 		tc.Processed.Add(processed)
 		tc.Bytes.Add(bytes)
 		tc.PipelineDrops.Add(drops)
+		if onTrace := w.eng.cfg.OnTrace; onTrace != nil && err == nil {
+			// Sampled frame tracing: the whole block is skipped unless a
+			// trace sink is configured, and within it only frames whose
+			// out-of-band word carries TraceBit pay for a clock read.
+			for i := range res {
+				if res[i].Meta&TraceBit == 0 {
+					continue
+				}
+				onTrace(TraceHop{
+					Worker:     w.id,
+					Tenant:     tenant,
+					QueueDepth: depth,
+					Meta:       res[i].Meta,
+					Dropped:    res[i].Dropped,
+					UnixNano:   time.Now().UnixNano(),
+				})
+			}
+		}
 		if w.egress != nil && err == nil {
 			// Egress scheduling: forwarded frames enter the per-worker
 			// WFQ+PIFO instead of being delivered batch-order; one

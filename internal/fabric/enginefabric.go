@@ -57,7 +57,20 @@ type NodeConfig struct {
 	EgressQuantum int
 	// EgressQuantumBytes additionally caps delivered bytes per cycle.
 	EgressQuantumBytes int
+	// TraceEvery, when > 0, samples one in every TraceEvery frames
+	// *injected* at this node (engine.Config.TraceEvery): the sampled
+	// frame's out-of-band meta word gets engine.TraceBit, which rides
+	// every inter-node hand-off, so each engine on the frame's path
+	// records a hop through the fabric's Trace sink. Set it on entry
+	// nodes; forwarded frames are never re-sampled.
+	TraceEvery int
 }
+
+// metaHopMask masks the hop count out of a frame's out-of-band meta
+// word. The bits above it — engine.TraceBit — ride every hand-off
+// unchanged, so a frame sampled at its entry node stays sampled across
+// the fabric.
+const metaHopMask uint64 = 0xff
 
 // EngineNode is one running engine in an EngineFabric.
 type EngineNode struct {
@@ -119,6 +132,14 @@ type EngineFabric struct {
 	// (the owning engine reclaims the buffer afterwards). Nil discards
 	// deliveries (they are still counted).
 	Deliver func(d Delivery)
+
+	// Trace, when set before Start, receives every sampled frame's
+	// per-node hop records (see NodeConfig.TraceEvery): each engine a
+	// marked frame traverses reports one TraceHop, tagged here with the
+	// node's name. Called from node worker goroutines concurrently —
+	// an obs.Tracer ring is the intended sink. Nil disables recording
+	// (sampling marks still ride the meta word).
+	Trace func(node string, h engine.TraceHop)
 
 	mu      sync.Mutex
 	nodes   map[string]*EngineNode
@@ -236,6 +257,10 @@ func (f *EngineFabric) Start() error {
 	// Inject paths are the only doors and they are still closed.
 	for _, n := range f.order {
 		node := n
+		var traceHook func(engine.TraceHop)
+		if f.Trace != nil {
+			traceHook = func(h engine.TraceHop) { f.Trace(node.Name, h) }
+		}
 		eng, err := engine.New(engine.Config{
 			Workers:            n.cfg.Workers,
 			QueueDepth:         n.cfg.QueueDepth,
@@ -249,6 +274,8 @@ func (f *EngineFabric) Start() error {
 			EgressQueueLimit:   n.cfg.EgressQueueLimit,
 			EgressQuantum:      n.cfg.EgressQuantum,
 			EgressQuantumBytes: n.cfg.EgressQuantumBytes,
+			TraceEvery:         n.cfg.TraceEvery,
+			OnTrace:            traceHook,
 			Pool:               f.pool,
 			OnBatch: func(wid int, tenant uint16, res []core.BatchResult) {
 				node.onBatch(wid, tenant, res)
@@ -281,12 +308,11 @@ func (n *EngineNode) onBatch(wid int, tenant uint16, res []core.BatchResult) {
 		if r.Dropped {
 			continue
 		}
-		hops := int(r.Meta)
 		if members := n.tm.Members(r.EgressPort); members != nil {
-			n.replicate(sc, r, tenant, members, hops)
+			n.replicate(sc, r, tenant, members, r.Meta)
 			continue
 		}
-		n.classify(sc, r, tenant, r.EgressPort, hops)
+		n.classify(sc, r, tenant, r.EgressPort, r.Meta)
 	}
 	// Flush the accumulated hand-offs, one ForwardBatch per link.
 	for ri := range sc.runs {
@@ -314,7 +340,11 @@ func (n *EngineNode) onBatch(wid int, tenant uint16, res []core.BatchResult) {
 // classify routes one forwarded frame out one egress port: across a
 // link (taking ownership of the buffer — the hop is a pointer move) or
 // to the host sink (lending the buffer for the callback's duration).
-func (n *EngineNode) classify(sc *fwdScratch, r *core.BatchResult, tenant uint16, port uint8, hops int) {
+// meta is the frame's full out-of-band word: the low byte is the hop
+// count, incremented per link; the bits above it (the trace mark) ride
+// along unchanged.
+func (n *EngineNode) classify(sc *fwdScratch, r *core.BatchResult, tenant uint16, port uint8, meta uint64) {
+	hops := int(meta & metaHopMask)
 	to := n.link[port]
 	if to == nil {
 		n.delivered.Add(1)
@@ -333,7 +363,7 @@ func (n *EngineNode) classify(sc *fwdScratch, r *core.BatchResult, tenant uint16
 	}
 	buf := r.Data
 	r.Data = nil // ownership-take: the engine must not reclaim it
-	sc.add(to, n.linkIngress[port], buf, uint64(hops+1))
+	sc.add(to, n.linkIngress[port], buf, meta&^metaHopMask|uint64(hops+1))
 }
 
 // replicate fans one frame out to a multicast group's member ports:
@@ -341,11 +371,12 @@ func (n *EngineNode) classify(sc *fwdScratch, r *core.BatchResult, tenant uint16
 // then the first linked member takes the original buffer and any
 // further linked members get pooled copies — replication is the one
 // place a fabric hop costs a copy.
-func (n *EngineNode) replicate(sc *fwdScratch, r *core.BatchResult, tenant uint16, members []uint8, hops int) {
+func (n *EngineNode) replicate(sc *fwdScratch, r *core.BatchResult, tenant uint16, members []uint8, meta uint64) {
 	data := r.Data
+	hops := int(meta & metaHopMask)
 	for _, port := range members {
 		if n.link[port] == nil {
-			n.classify(sc, r, tenant, port, hops)
+			n.classify(sc, r, tenant, port, meta)
 		}
 	}
 	first := true
@@ -366,7 +397,7 @@ func (n *EngineNode) replicate(sc *fwdScratch, r *core.BatchResult, tenant uint1
 			buf = to.Eng.Borrow(len(data))
 			copy(buf, data)
 		}
-		sc.add(to, n.linkIngress[port], buf, uint64(hops+1))
+		sc.add(to, n.linkIngress[port], buf, meta&^metaHopMask|uint64(hops+1))
 	}
 }
 

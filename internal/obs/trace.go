@@ -1,0 +1,111 @@
+// Sampled frame tracing: a fixed-capacity overwrite ring of per-hop
+// records fed by engine.Config.OnTrace / fabric.EngineFabric.Trace.
+package obs
+
+import (
+	"sync"
+
+	"repro/internal/engine"
+)
+
+// TraceEvent is one recorded hop of a sampled frame: which node and
+// worker serviced it, as which tenant, how deep the shard's backlog
+// was, and when. Hops is the fabric hop count carried in the frame's
+// out-of-band meta word (0 on a single-engine path).
+type TraceEvent struct {
+	// Seq is the event's global sequence number (total events recorded
+	// before it); consecutive Events snapshots overlap where Seq
+	// ranges overlap.
+	Seq uint64 `json:"seq"`
+	// Node names the engine that recorded the hop ("" for a
+	// single-engine deployment).
+	Node string `json:"node"`
+	// Worker is the servicing shard's ID.
+	Worker int `json:"worker"`
+	// Tenant is the frame's tenant (module) ID.
+	Tenant uint16 `json:"tenant"`
+	// Hops is the fabric hop count at this node (out-of-band meta low
+	// byte).
+	Hops int `json:"hops"`
+	// QueueDepth is the shard's RX backlog when the frame's batch was
+	// taken.
+	QueueDepth int `json:"queue_depth"`
+	// Dropped reports whether the pipeline discarded the frame here.
+	Dropped bool `json:"dropped"`
+	// UnixNano is the wall-clock service time of the hop.
+	UnixNano int64 `json:"unix_nano"`
+}
+
+// Tracer is a bounded, concurrency-safe ring of TraceEvents: Record
+// overwrites the oldest entry once full, so it holds the most recent
+// capacity hops regardless of run length. Writers are worker
+// goroutines reporting sampled frames (a 1-in-N trickle, so the
+// mutex is far off the hot path); readers snapshot with Events.
+type Tracer struct {
+	mu    sync.Mutex
+	buf   []TraceEvent
+	total uint64
+}
+
+// NewTracer returns a Tracer retaining the last capacity hops
+// (minimum 1).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{buf: make([]TraceEvent, 0, capacity)}
+}
+
+// Record appends one hop, tagged with the recording node's name. Its
+// signature composes with fabric.EngineFabric.Trace directly; for a
+// single engine use Hook.
+func (t *Tracer) Record(node string, h engine.TraceHop) {
+	t.mu.Lock()
+	ev := TraceEvent{
+		Seq:        t.total,
+		Node:       node,
+		Worker:     h.Worker,
+		Tenant:     h.Tenant,
+		Hops:       int(h.Meta & 0xff),
+		QueueDepth: h.QueueDepth,
+		Dropped:    h.Dropped,
+		UnixNano:   h.UnixNano,
+	}
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, ev)
+	} else {
+		t.buf[t.total%uint64(cap(t.buf))] = ev
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Hook returns an engine.Config.OnTrace sink recording hops under the
+// given node name.
+func (t *Tracer) Hook(node string) func(engine.TraceHop) {
+	return func(h engine.TraceHop) { t.Record(node, h) }
+}
+
+// Total is the number of hops recorded over the tracer's lifetime
+// (including ones already overwritten).
+func (t *Tracer) Total() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Events appends the retained hops to dst, oldest first, and returns
+// the extended slice. Pass a reused slice (or nil) — a warm poller
+// allocates nothing.
+func (t *Tracer) Events(dst []TraceEvent) []TraceEvent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.total > uint64(len(t.buf)) {
+		// Full ring: the oldest entry sits just past the write cursor.
+		start := int(t.total % uint64(cap(t.buf)))
+		dst = append(dst, t.buf[start:]...)
+		dst = append(dst, t.buf[:start]...)
+		return dst
+	}
+	return append(dst, t.buf...)
+}

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+)
+
+func hop(worker int, tenant uint16, meta uint64) engine.TraceHop {
+	return engine.TraceHop{Worker: worker, Tenant: tenant, Meta: meta, QueueDepth: 7, UnixNano: 42}
+}
+
+func TestTracerRingOverwrite(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Record("n", hop(i, uint16(i), uint64(i)))
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", tr.Total())
+	}
+	evs := tr.Events(nil)
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	// Oldest first: the ring retains hops 6..9.
+	for i, ev := range evs {
+		want := uint64(6 + i)
+		if ev.Seq != want || ev.Worker != int(want) {
+			t.Errorf("event %d: seq %d worker %d, want %d", i, ev.Seq, ev.Worker, want)
+		}
+	}
+}
+
+func TestTracerPartialFillOrder(t *testing.T) {
+	tr := NewTracer(8)
+	for i := 0; i < 3; i++ {
+		tr.Record("n", hop(i, 1, 0))
+	}
+	evs := tr.Events(nil)
+	if len(evs) != 3 {
+		t.Fatalf("retained %d events, want 3", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i) {
+			t.Errorf("event %d: seq %d, want %d", i, ev.Seq, i)
+		}
+	}
+}
+
+// TestTracerHopExtraction pins that Hops comes from the meta word's
+// low byte (the fabric hop counter) and that the trace bit above it
+// does not leak into the count.
+func TestTracerHopExtraction(t *testing.T) {
+	tr := NewTracer(2)
+	tr.Record("s2", hop(0, 5, engine.TraceBit|2))
+	ev := tr.Events(nil)[0]
+	if ev.Hops != 2 {
+		t.Errorf("Hops = %d, want 2 (trace bit must not leak into the count)", ev.Hops)
+	}
+	if ev.Node != "s2" || ev.Tenant != 5 || ev.QueueDepth != 7 {
+		t.Errorf("event fields = %+v", ev)
+	}
+}
+
+func TestTracerHookAndReuse(t *testing.T) {
+	tr := NewTracer(0) // clamps to capacity 1
+	fn := tr.Hook("solo")
+	fn(hop(3, 9, 0))
+	fn(hop(4, 9, 0))
+	evs := tr.Events(make([]TraceEvent, 0, 8)[:0])
+	if len(evs) != 1 || evs[0].Worker != 4 || evs[0].Node != "solo" {
+		t.Errorf("events = %+v, want just the latest hop from worker 4", evs)
+	}
+}

@@ -74,7 +74,20 @@ type EngineConfig struct {
 	// unit, so mixed frame sizes drain fair shares by bytes rather
 	// than frames. At least one frame is delivered per cycle.
 	EgressQuantumBytes int
+
+	// TraceEvery enables sampled frame tracing: every TraceEvery-th
+	// submitted frame is marked with the out-of-band trace bit and
+	// reported to OnTrace per hop. 0 disables tracing (zero overhead).
+	TraceEvery int
+	// OnTrace receives one TraceHop per traced frame per engine it
+	// traverses, called on the worker goroutine; keep it cheap (the
+	// obs package's Tracer ring is the intended sink).
+	OnTrace func(TraceHop)
 }
+
+// TraceHop is one sampled frame's per-hop trace record; see
+// EngineConfig.TraceEvery.
+type TraceHop = engine.TraceHop
 
 // Engine is a running concurrent dataplane created by Device.NewEngine.
 type Engine struct {
@@ -109,6 +122,8 @@ func (d *Device) NewEngine(cfg EngineConfig) (*Engine, error) {
 		EgressQueueLimit:   cfg.EgressQueueLimit,
 		EgressQuantum:      cfg.EgressQuantum,
 		EgressQuantumBytes: cfg.EgressQuantumBytes,
+		TraceEvery:         cfg.TraceEvery,
+		OnTrace:            cfg.OnTrace,
 	})
 	if err != nil {
 		return nil, err
