@@ -24,6 +24,7 @@ import (
 	"repro/internal/netdev"
 	"repro/internal/obs"
 	"repro/internal/p4progs"
+	"repro/internal/packet"
 	"repro/internal/sched"
 	"repro/internal/tables"
 	"repro/internal/trafficgen"
@@ -513,6 +514,115 @@ func BenchmarkEngineThroughput(b *testing.B) {
 			b.Fatal(err)
 		}
 	})
+
+	// The depth≫CAM configuration: the Load Balancing module with 10⁵
+	// exact-match flow entries on the cuckoo side of its match stage,
+	// traffic cycling over every flow. The nocache variant isolates the
+	// raw hash-probe path; the default variant puts the per-worker flow
+	// cache in front of it. Both must stay allocation-free per frame.
+	const flowScale = 100000
+	flowBench := func(cacheEntries int) func(b *testing.B) {
+		return func(b *testing.B) {
+			const batch = 32
+			dev := NewDevice(WithPlatform(PlatformCorundumOptimized))
+			lb, err := p4progs.ByName("Load Balancing")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := dev.LoadModule(lb.Source(), 1); err != nil {
+				b.Fatal(err)
+			}
+			eng, err := dev.NewEngine(EngineConfig{
+				Workers:          4,
+				BatchSize:        batch,
+				QueueDepth:       4096,
+				FlowCacheEntries: cacheEntries,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			pipe := dev.Pipeline()
+			cp := dev.ControlPlane()
+			stg, bestN := -1, 0
+			for i := range pipe.Stages {
+				if n := pipe.Stages[i].Match.ValidCount(1); n > bestN {
+					stg, bestN = i, n
+				}
+			}
+			if stg < 0 {
+				b.Fatal("Load Balancing module has no match stage")
+			}
+			var addrs []uint16
+			for i := 0; i < 4; i++ {
+				f := trafficgen.FlowPacket(1,
+					packet.IPv4Addr{10, 0, 1, 1}, packet.IPv4Addr{10, 0, 0, 10},
+					uint16(1000+i), 80, 0)
+				key, err := cp.FlowKeyForFrame(1, stg, f)
+				if err != nil {
+					b.Fatal(err)
+				}
+				addr, ok := pipe.Stages[stg].Match.Lookup(key, 1)
+				if !ok {
+					b.Fatal("baseline Load Balancing tuple missed the CAM")
+				}
+				addrs = append(addrs, uint16(addr))
+			}
+			pool := make([][]byte, flowScale)
+			staged := make([]FlowEntry, 0, 4096)
+			flush := func() {
+				gen, err := eng.InsertFlows(1, stg, staged)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := eng.AwaitQuiesce(gen); err != nil {
+					b.Fatal(err)
+				}
+				staged = staged[:0]
+			}
+			for f := 0; f < flowScale; f++ {
+				pool[f] = trafficgen.FlowScaleFrame(1, f, 0)
+				key, err := cp.FlowKeyForFrame(1, stg, pool[f])
+				if err != nil {
+					b.Fatal(err)
+				}
+				staged = append(staged, FlowEntry{Valid: true, Addr: addrs[f%len(addrs)], Key: key})
+				if len(staged) == cap(staged) {
+					flush()
+				}
+			}
+			if len(staged) > 0 {
+				flush()
+			}
+			sub := make([][]byte, 0, batch)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sub = append(sub, pool[i%flowScale])
+				if len(sub) == batch {
+					if _, err := eng.SubmitBatch(sub); err != nil {
+						b.Fatal(err)
+					}
+					sub = sub[:0]
+				}
+			}
+			if len(sub) > 0 {
+				if _, err := eng.SubmitBatch(sub); err != nil {
+					b.Fatal(err)
+				}
+			}
+			eng.Drain()
+			b.StopTimer()
+			tot := eng.Stats().Totals()
+			if tot.Processed != uint64(b.N) {
+				b.Fatalf("processed %d of %d submitted", tot.Processed, b.N)
+			}
+			if err := eng.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run(fmt.Sprintf("flows=%d/workers=4/batch=32/nocache", flowScale), flowBench(-1))
+	b.Run(fmt.Sprintf("flows=%d/workers=4/batch=32", flowScale), flowBench(0))
 }
 
 // BenchmarkWFQScheduler measures the §3.5 egress scheduler: WFQ ranking

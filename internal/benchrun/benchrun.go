@@ -12,6 +12,7 @@ import (
 
 	menshen "repro"
 	"repro/internal/p4progs"
+	"repro/internal/packet"
 	"repro/internal/trafficgen"
 )
 
@@ -149,10 +150,124 @@ func submit(b *testing.B, eng *menshen.Engine, sub [][]byte, owned bool) {
 	}
 }
 
+// EngineFlows measures the depth≫CAM workload: the Load Balancing
+// module with `flows` exact-match flow entries installed on the cuckoo
+// side of its match stage (the §4.3 hash path), traffic cycling over
+// every flow, optionally with the per-worker flow cache in front. The
+// flow count is orders of magnitude past the 16-entry CAM, so this is
+// the configuration where match depth would otherwise dominate.
+func EngineFlows(name string, workers, batch, flows int, cache bool) Result {
+	dev := menshen.NewDevice(menshen.WithPlatform(menshen.PlatformCorundumOptimized))
+	lb, err := p4progs.ByName("Load Balancing")
+	if err != nil {
+		panic(err)
+	}
+	if _, err := dev.LoadModule(lb.Source(), 1); err != nil {
+		panic(err)
+	}
+	cacheEntries := 0
+	if !cache {
+		cacheEntries = -1
+	}
+	eng, err := dev.NewEngine(menshen.EngineConfig{
+		Workers:          workers,
+		BatchSize:        batch,
+		QueueDepth:       4096,
+		FlowCacheEntries: cacheEntries,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer eng.Close()
+
+	// The module's lb_table lands in the stage holding the most of its
+	// CAM entries (other stages carry single wildcard glue entries); the
+	// flow entries reuse its compiled to_port action addresses,
+	// round-robin, located by resolving the program's baseline tuples.
+	pipe := dev.Pipeline()
+	cp := dev.ControlPlane()
+	stg, bestN := -1, 0
+	for i := range pipe.Stages {
+		if n := pipe.Stages[i].Match.ValidCount(1); n > bestN {
+			stg, bestN = i, n
+		}
+	}
+	if stg < 0 {
+		panic("benchrun: Load Balancing module has no match stage")
+	}
+	var addrs []uint16
+	for i := 0; i < 4; i++ {
+		f := trafficgen.FlowPacket(1,
+			packet.IPv4Addr{10, 0, 1, 1}, packet.IPv4Addr{10, 0, 0, 10},
+			uint16(1000+i), 80, 0)
+		key, err := cp.FlowKeyForFrame(1, stg, f)
+		if err != nil {
+			panic(err)
+		}
+		addr, ok := pipe.Stages[stg].Match.Lookup(key, 1)
+		if !ok {
+			panic("benchrun: baseline Load Balancing tuple missed the CAM")
+		}
+		addrs = append(addrs, uint16(addr))
+	}
+
+	// Build the traffic pool (one frame per flow) and install each
+	// flow's key → action entry into every shard, in chunks through the
+	// generation-tagged control queue.
+	pool := make([][]byte, flows)
+	const chunk = 4096
+	stagedFlows := make([]menshen.FlowEntry, 0, chunk)
+	flush := func() {
+		if len(stagedFlows) == 0 {
+			return
+		}
+		gen, err := eng.InsertFlows(1, stg, stagedFlows)
+		if err != nil {
+			panic(err)
+		}
+		if err := eng.AwaitQuiesce(gen); err != nil {
+			panic(err)
+		}
+		stagedFlows = stagedFlows[:0]
+	}
+	for f := 0; f < flows; f++ {
+		pool[f] = trafficgen.FlowScaleFrame(1, f, 0)
+		key, err := cp.FlowKeyForFrame(1, stg, pool[f])
+		if err != nil {
+			panic(err)
+		}
+		stagedFlows = append(stagedFlows, menshen.FlowEntry{
+			Valid: true, Addr: addrs[f%len(addrs)], Key: key,
+		})
+		if len(stagedFlows) == chunk {
+			flush()
+		}
+	}
+	flush()
+
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		sub := make([][]byte, 0, batch)
+		for i := 0; i < b.N; i++ {
+			sub = append(sub, pool[i%len(pool)])
+			if len(sub) == batch {
+				submit(b, eng, sub, false)
+				sub = sub[:0]
+			}
+		}
+		if len(sub) > 0 {
+			submit(b, eng, sub, false)
+		}
+		eng.Drain()
+	})
+	return fromBenchmark(name, res)
+}
+
 // Suite runs the standard trajectory: the SendLoop baseline, the
 // engine at 1 and 4 workers with batch 32, the zero-copy owned
-// variant, and the egress-scheduled variant of the 4-worker
-// configuration.
+// variant, the egress-scheduled variant of the 4-worker configuration,
+// and the 10⁵-flow cuckoo-path configurations with the per-worker flow
+// cache off and on.
 func Suite() []Result {
 	return []Result{
 		SendLoop(),
@@ -160,5 +275,7 @@ func Suite() []Result {
 		Engine("workers=4/batch=32", 4, 32, false, false),
 		Engine("workers=4/batch=32/owned", 4, 32, true, false),
 		Engine("workers=4/batch=32/egress", 4, 32, false, true),
+		EngineFlows("flows=100000/workers=4/batch=32/nocache", 4, 32, 100000, false),
+		EngineFlows("flows=100000/workers=4/batch=32", 4, 32, 100000, true),
 	}
 }

@@ -118,6 +118,68 @@ type Pipeline struct {
 	// unchanged configuration pays no per-batch re-resolution.
 	batchViews []moduleViews
 	cfgGen     atomic.Uint64
+	// flowCache, when set, is attached to every hash-mode stage view so
+	// ProcessBatch memoizes match resolutions (see stage.FlowCache). It
+	// is owned by this pipeline's batch caller — the engine gives each
+	// worker replica its own — and is only touched under mu.
+	flowCache *stage.FlowCache
+	// batchScratch is the two-pass batch loop's per-frame state (parsed
+	// PHVs, resolved views), reused across batches (guarded by mu).
+	batchScratch []batchFrame
+}
+
+// batchFrame is one frame's pass-1 outcome in the two-pass batch loop:
+// the parsed PHV and the module's resolved views, or done when the
+// frame already reached a terminal verdict (filtered, unknown module,
+// parse error) recorded in its BatchResult.
+type batchFrame struct {
+	v    phv.PHV
+	mv   *moduleViews
+	done bool
+}
+
+// ShareFlowTables points every stage's exact-match flow table (the
+// cuckoo side) at the donor pipeline's corresponding table. The engine
+// calls it once per extra worker replica before any worker starts:
+// flow entries are configuration, not per-flow state, and the cuckoo's
+// reads are wait-free, so replicas can resolve flows out of one shared
+// structure instead of each holding a megabytes-deep copy per 10⁵-10⁶
+// flow tenant. Replayed flow commands fanned out to every shard become
+// idempotent re-inserts of the same entry. A side effect of sharing is
+// that a hash-mode probe on one shard may observe an entry slightly
+// before that shard's own copy of the install command lands (the
+// entry's own shard already published it); scan-mode candidate lists
+// and the flow cache still roll forward only at the shard's own
+// generation bump, exactly as with private tables.
+func (p *Pipeline) ShareFlowTables(donor *Pipeline) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, st := range p.Stages {
+		st.Hash = donor.Stages[i].Hash
+	}
+	p.InvalidateBatchViews()
+}
+
+// SetFlowCache installs (or, with nil, removes) the pipeline's
+// exact-match flow cache. The cache must not be shared with another
+// pipeline: it is accessed without synchronization under the batch
+// lock. Safe to call between batches; cached views are invalidated.
+func (p *Pipeline) SetFlowCache(fc *stage.FlowCache) {
+	p.mu.Lock()
+	p.flowCache = fc
+	p.mu.Unlock()
+	p.InvalidateBatchViews()
+}
+
+// FlowCacheStats returns the flow cache's cumulative hit/miss counters
+// (zeros when no cache is installed).
+func (p *Pipeline) FlowCacheStats() (hits, misses uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.flowCache == nil {
+		return 0, 0
+	}
+	return p.flowCache.Stats()
 }
 
 // moduleViews is one module's cached configuration across all stages,
@@ -453,15 +515,32 @@ func (p *Pipeline) processBatch(frames [][]byte, ingressPort uint8, ports []uint
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	gen := p.cfgGen.Load()
-	var v phv.PHV
+	if len(p.batchScratch) < len(frames) {
+		p.batchScratch = make([]batchFrame, len(frames))
+	}
+	bf := p.batchScratch[:len(frames)]
 	var bs batchScope
 	p.Filter.BeginBatch(&bs.cls)
+	// Pass 1: classify and parse every frame, and prefetch the flow
+	// table's candidate buckets, so pass 2's hash probes — random reads
+	// into tables that span megabytes at million-flow scale — find warm
+	// lines instead of serializing a memory round-trip per frame. The
+	// configuration is frozen for the whole batch (mu is held and the
+	// filter diverts reconfiguration frames to the command path), and
+	// per-stage stateful memory is only touched in pass 2, in frame
+	// order, so the split is invisible to module semantics.
 	for i, data := range frames {
 		port := ingressPort
 		if ports != nil {
 			port = ports[i]
 		}
-		p.processBatchFrame(data, port, gen, &v, &res[i], inPlace, &bs)
+		p.prepBatchFrame(data, port, gen, &bf[i], &res[i], &bs)
+	}
+	// Pass 2: run the stage pipeline and deparse, in frame order.
+	for i, data := range frames {
+		if !bf[i].done {
+			p.execBatchFrame(data, &bf[i], &res[i], inPlace, &bs)
+		}
 	}
 	bs.flushStats()
 	p.Filter.CommitBatch(&bs.cls)
@@ -539,22 +618,45 @@ func (p *Pipeline) ModuleChecksum(moduleID uint16) uint64 {
 				h.Write(a.Encode())
 			}
 		}
+		if st.Hash != nil {
+			// Flow entries are folded in order-independently (XOR of
+			// per-entry hashes): two replicas fed the same flow commands
+			// hold the same entry set but may lay their buckets out
+			// differently after growth/relocation.
+			var fold uint64
+			for _, fe := range st.Hash.ModuleFlows(moduleID & tables.MaxModuleID) {
+				eh := fnv.New64a()
+				var b [8]byte
+				for _, w := range fe.Words {
+					binary.BigEndian.PutUint64(b[:], w)
+					eh.Write(b[:])
+				}
+				binary.BigEndian.PutUint64(b[:], uint64(uint32(fe.Addr)))
+				eh.Write(b[:])
+				fold ^= eh.Sum64()
+			}
+			if fold != 0 {
+				h.Write([]byte{'F'})
+				u64(fold)
+			}
+		}
 	}
 	return h.Sum64()
 }
 
-// processBatchFrame is processLocked minus the allocations and the
-// atomics: no Output, no StageResults, no PHV copy-out, side effects
-// accumulated into bs. With inPlace unset the deparse buffer is
-// recycled from the previous use of r; with it set the deparser writes
-// straight into data and r.Data aliases it.
-func (p *Pipeline) processBatchFrame(data []byte, ingressPort uint8, gen uint64, v *phv.PHV, r *BatchResult, inPlace bool, bs *batchScope) {
+// prepBatchFrame is the two-pass batch loop's pass 1 for one frame:
+// classify, resolve (or reuse) the module's cached per-stage
+// configuration, parse into f.v, and issue the speculative flow-table
+// prefetches. Terminal verdicts (filtered, unknown module, parse
+// error) are recorded in r and marked done so pass 2 skips the frame.
+func (p *Pipeline) prepBatchFrame(data []byte, ingressPort uint8, gen uint64, f *batchFrame, r *BatchResult, bs *batchScope) {
 	r.Data = nil
 	r.EgressPort = 0
 	r.Dropped = false
 	r.DiscardedByModule = false
 	r.Err = nil
 	r.Meta = 0
+	f.done = true
 
 	cls := p.Filter.ClassifyBatched(data, p.Options.NumParsers, &bs.cls)
 	r.Verdict = cls.Verdict
@@ -572,11 +674,13 @@ func (p *Pipeline) processBatchFrame(data []byte, ingressPort uint8, gen uint64,
 		return
 	}
 
-	// Resolve (or reuse) the module's cached per-stage configuration.
 	mv := &p.batchViews[cls.ModuleID]
 	if mv.gen != gen {
 		for i, st := range p.Stages {
 			mv.views[i] = st.ViewFor(int(cls.ModuleID))
+			if p.flowCache != nil {
+				mv.views[i].AttachFlowCache(p.flowCache, gen, uint8(i))
+			}
 		}
 		mv.parse, _ = p.Parser.EntryRef(int(cls.ModuleID))
 		mv.deparse, _ = p.Deparser.EntryRef(int(cls.ModuleID))
@@ -595,15 +699,29 @@ func (p *Pipeline) processBatchFrame(data []byte, ingressPort uint8, gen uint64,
 		r.Dropped = true
 		return
 	}
-	if err := mv.parseProg.Parse(data, v); err != nil {
+	if err := mv.parseProg.Parse(data, &f.v); err != nil {
 		r.Dropped = true
 		r.Err = err
 		return
 	}
-	v.ModuleID = cls.ModuleID
-	v.SetIngress(ingressPort)
-	v.SetBufferTag(cls.BufferTag)
+	f.v.ModuleID = cls.ModuleID
+	f.v.SetIngress(ingressPort)
+	f.v.SetBufferTag(cls.BufferTag)
+	f.mv = mv
+	f.done = false
+	for i := range mv.views {
+		mv.views[i].PrefetchFlow(&f.v)
+	}
+}
 
+// execBatchFrame is pass 2 for one frame: the stage pipeline and the
+// deparse, which is processLocked minus the allocations and the
+// atomics — no Output, no StageResults, no PHV copy-out, side effects
+// accumulated into bs. With inPlace unset the deparse buffer is
+// recycled from the previous use of r; with it set the deparser writes
+// straight into data and r.Data aliases it.
+func (p *Pipeline) execBatchFrame(data []byte, f *batchFrame, r *BatchResult, inPlace bool, bs *batchScope) {
+	mv, v := f.mv, &f.v
 	for i, st := range p.Stages {
 		if _, err := st.ProcessView(&mv.views[i], v); err != nil {
 			r.Dropped = true
@@ -653,7 +771,60 @@ const (
 	camEntryBytes   = 1 + 2 + tables.KeyBytes + tables.KeyBytes // valid, modID, key, mask
 	keyExtractBytes = 5                                         // 38 bits
 	segmentBytes    = 2
+	flowEntryBytes  = 1 + 2 + 2 + tables.KeyBytes // valid, modID, action addr, key
 )
+
+// FlowEntry is one exact-match flow rule for the cuckoo side of a
+// stage's match table: key → action address, owned by a module. Valid
+// false encodes a deletion. Unlike CAM entries, flow entries carry
+// their full identity in the payload (there is no small stable address
+// to put in a command's index field).
+type FlowEntry struct {
+	// Valid installs the entry; false removes the key.
+	Valid bool
+	// ModID is the owning module (12 bits on the wire).
+	ModID uint16
+	// Addr is the VLIW action address the flow resolves to — normally
+	// one of the module's already-installed actions, so a flow steers
+	// packets without consuming CAM depth.
+	Addr uint16
+	// Key is the exact match key (pre-masked by the module's key mask).
+	Key tables.Key
+}
+
+// EncodeFlowEntry packs a flow entry for the reconfiguration payload.
+func EncodeFlowEntry(e FlowEntry) []byte {
+	out := make([]byte, flowEntryBytes)
+	if e.Valid {
+		out[0] = 1
+	}
+	binary.BigEndian.PutUint16(out[1:], e.ModID)
+	binary.BigEndian.PutUint16(out[3:], e.Addr)
+	copy(out[5:], e.Key[:])
+	return out
+}
+
+// DecodeFlowEntry unpacks a flow entry from a reconfiguration payload.
+func DecodeFlowEntry(b []byte) (FlowEntry, error) {
+	var e FlowEntry
+	if len(b) < flowEntryBytes {
+		return e, fmt.Errorf("%w: flow entry needs %d bytes, have %d", ErrBadCommand, flowEntryBytes, len(b))
+	}
+	e.Valid = b[0] != 0
+	e.ModID = binary.BigEndian.Uint16(b[1:])
+	e.Addr = binary.BigEndian.Uint16(b[3:])
+	copy(e.Key[:], b[5:])
+	return e, nil
+}
+
+// FlowCommand builds the reconfiguration command installing (or, with
+// e.Valid false, removing) one flow entry in the given stage.
+func FlowCommand(stg int, e FlowEntry) reconfig.Command {
+	return reconfig.Command{
+		Resource: reconfig.MakeResourceID(stg, reconfig.KindHash),
+		Payload:  EncodeFlowEntry(e),
+	}
+}
 
 // EncodeCAMEntry packs a CAM entry for the reconfiguration payload.
 func EncodeCAMEntry(e tables.CAMEntry) []byte {
@@ -759,6 +930,24 @@ func (p *Pipeline) Apply(cmd reconfig.Command) error {
 		}
 		return p.Stages[cmd.Resource.Stage()].Segments.Set(idx,
 			tables.Segment{Base: cmd.Payload[0], Range: cmd.Payload[1]})
+	case reconfig.KindHash:
+		e, err := DecodeFlowEntry(cmd.Payload)
+		if err != nil {
+			return err
+		}
+		st := p.Stages[cmd.Resource.Stage()]
+		if e.Valid {
+			// Space isolation: when the module has a CAM/action partition,
+			// a flow may only resolve to addresses inside it — a flow
+			// entry must not steer packets into another module's actions.
+			if lo, hi, ok := st.Match.PartitionOf(e.ModID & tables.MaxModuleID); ok {
+				if int(e.Addr) < lo || int(e.Addr) >= hi {
+					return fmt.Errorf("%w: flow action address %d outside module %d partition [%d,%d)",
+						ErrBadCommand, e.Addr, e.ModID, lo, hi)
+				}
+			}
+		}
+		return st.WriteFlow(e.Valid, e.ModID, e.Key, int(e.Addr))
 	}
 	return fmt.Errorf("%w: unknown resource kind %d", ErrBadCommand, kind)
 }

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/alu"
 	"repro/internal/core"
+	"repro/internal/phv"
 	"repro/internal/reconfig"
 	"repro/internal/tables"
 )
@@ -263,6 +264,71 @@ func (c *Client) DeleteRule(moduleID uint16, stg, addr int) error {
 		return err
 	}
 	return c.pipe.Stages[stg].Actions.Clear(addr)
+}
+
+// InsertFlow installs one exact-match flow entry on the cuckoo side of
+// a stage's match table: key → existing VLIW action address. Flows ride
+// the same reconfiguration path as rules (wire packets included), but
+// consume no CAM depth — this is the high-cardinality per-flow
+// counterpart of InsertRule.
+func (c *Client) InsertFlow(moduleID uint16, stg int, key tables.Key, addr int) error {
+	if stg < 0 || stg >= len(c.pipe.Stages) {
+		return fmt.Errorf("ctrlplane: stage %d out of range", stg)
+	}
+	if addr < 0 || addr > int(^uint16(0)) {
+		return fmt.Errorf("ctrlplane: flow action address %d out of range", addr)
+	}
+	return c.push(moduleID, core.FlowCommand(stg, core.FlowEntry{
+		Valid: true, ModID: moduleID, Addr: uint16(addr), Key: key,
+	}))
+}
+
+// DeleteFlow removes one flow entry.
+func (c *Client) DeleteFlow(moduleID uint16, stg int, key tables.Key) error {
+	if stg < 0 || stg >= len(c.pipe.Stages) {
+		return fmt.Errorf("ctrlplane: stage %d out of range", stg)
+	}
+	return c.push(moduleID, core.FlowCommand(stg, core.FlowEntry{
+		Valid: false, ModID: moduleID, Key: key,
+	}))
+}
+
+// FlowKeyForFrame derives the match key a representative frame of a
+// flow produces in the given stage: the frame is parsed with the
+// module's parser entry and run through the stage's key extractor and
+// key mask. The result is what InsertFlow should install to match that
+// flow. The extraction reflects the PHV as parsed — if an earlier stage
+// rewrites the fields this stage keys on, derive the key from a frame
+// captured after those rewrites instead.
+func (c *Client) FlowKeyForFrame(moduleID uint16, stg int, frame []byte) (tables.Key, error) {
+	var key tables.Key
+	if stg < 0 || stg >= len(c.pipe.Stages) {
+		return key, fmt.Errorf("ctrlplane: stage %d out of range", stg)
+	}
+	idx := int(moduleID) & tables.MaxModuleID
+	pe, ok := c.pipe.Parser.EntryRef(idx)
+	if !ok {
+		return key, fmt.Errorf("ctrlplane: module %d has no parser entry", moduleID)
+	}
+	var v phv.PHV
+	prog := pe.Compile()
+	if err := prog.Parse(frame, &v); err != nil {
+		return key, err
+	}
+	v.ModuleID = moduleID
+	st := c.pipe.Stages[stg]
+	entry, ok := st.Extract.Lookup(idx)
+	if !ok {
+		return key, fmt.Errorf("ctrlplane: module %d has no key extractor in stage %d", moduleID, stg)
+	}
+	key, err := entry.ExtractKey(&v)
+	if err != nil {
+		return key, err
+	}
+	if mask, ok := st.Mask.Lookup(idx); ok {
+		key = key.Masked(mask)
+	}
+	return key, nil
 }
 
 // ReadCounter reads a stateful-memory word in a module's segment (the

@@ -14,6 +14,7 @@ import (
 	"repro/internal/ctrlplane"
 	"repro/internal/reconfig"
 	"repro/internal/sched"
+	"repro/internal/stage"
 )
 
 // Errors surfaced by the engine.
@@ -165,6 +166,16 @@ type Config struct {
 	// that owned buffers handed between them (ForwardBatch) keep
 	// circulating through one freelist. Leave nil for a private pool.
 	Pool *Pool
+
+	// FlowCacheEntries sizes each worker's exact-match flow cache (the
+	// fast path in front of hash-mode match resolution; see
+	// stage.FlowCache). 0 selects the default size, negative disables
+	// the cache. The cache only engages for modules whose flow-entry
+	// count exceeds stage.FlowScanThreshold, so small-table workloads
+	// are unaffected either way. Invalidation is automatic: entries are
+	// tagged with the replica's configuration generation, which every
+	// reconfiguration bumps.
+	FlowCacheEntries int
 }
 
 // Engine is a running dataplane: create with New, feed with Submit or
@@ -234,13 +245,26 @@ func New(cfg Config) (*Engine, error) {
 	// drain-and-refill cycle of the whole engine.
 	e.pool.grow(cfg.Workers*4*cfg.BatchSize + 2*poolStash)
 	e.ctrl.qcond = sync.NewCond(&e.ctrl.qmu)
+	var flowDonor *core.Pipeline
 	for i := 0; i < cfg.Workers; i++ {
 		pipe := core.New(cfg.Geometry, cfg.Options)
+		// All shards resolve exact-match flows out of one shared cuckoo
+		// table per stage (wait-free reads): at million-flow scale a
+		// per-replica copy would multiply a megabytes-deep table by the
+		// worker count and thrash the cache hierarchy.
+		if flowDonor == nil {
+			flowDonor = pipe
+		} else {
+			pipe.ShareFlowTables(flowDonor)
+		}
 		client := ctrlplane.New(pipe)
 		for _, m := range cfg.Modules {
 			if _, err := client.LoadModule(m.Config, m.Placement); err != nil {
 				return nil, fmt.Errorf("engine: worker %d: replaying module %d: %w", i, m.Config.ModuleID, err)
 			}
+		}
+		if cfg.FlowCacheEntries >= 0 {
+			pipe.SetFlowCache(stage.NewFlowCache(cfg.FlowCacheEntries))
 		}
 		w := newWorker(i, e, pipe)
 		if len(cfg.EgressWeights) > 0 {

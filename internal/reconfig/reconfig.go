@@ -39,6 +39,11 @@ const (
 	KindCAM
 	KindVLIW
 	KindSegment
+	// KindHash targets the stage's cuckoo exact-match table (§4.3). The
+	// payload carries the full flow entry — valid flag, module ID,
+	// action address, and key — because hash entries have no stable
+	// small address for the command's 8-bit index field.
+	KindHash
 )
 
 // String implements fmt.Stringer.
@@ -58,6 +63,8 @@ func (k Kind) String() string {
 		return "vliw-action"
 	case KindSegment:
 		return "segment"
+	case KindHash:
+		return "hash-flow"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }

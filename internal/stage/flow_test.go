@@ -1,0 +1,310 @@
+package stage
+
+// Tests for the exact-match flow side of the stage: module-ID masking
+// parity between Process and the view path, scan-vs-hash mode
+// equivalence around FlowScanThreshold, ClearModule covering the cuckoo
+// side, and the per-worker flow cache.
+
+import (
+	"testing"
+
+	"repro/internal/phv"
+	"repro/internal/tables"
+)
+
+// flowKey builds the masked key a c2[0]==val packet extracts under
+// installSimple's configuration (value at bytes 20..21, rest masked
+// off).
+func flowKey(val uint16) tables.Key {
+	var k tables.Key
+	k[20], k[21] = byte(val>>8), byte(val)
+	return k
+}
+
+// runBoth processes one (module, c2[0]=val) packet through Process and
+// through ViewFor/ProcessView and fails unless the results and PHV
+// effects are identical; it returns the shared result and the action's
+// c2[1] output.
+func runBoth(t *testing.T, s *Stage, moduleID uint16, val uint16) (Result, uint16) {
+	t.Helper()
+	mk := func() phv.PHV {
+		var p phv.PHV
+		p.ModuleID = moduleID
+		p.MustSet(phv.Ref{Type: phv.Type2B, Index: 0}, uint64(val))
+		return p
+	}
+	p1 := mk()
+	r1, err := s.Process(&p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := mk()
+	v := s.ViewFor(int(moduleID))
+	r2, err := s.ProcessView(&v, &p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatalf("val %#x: Process %+v != ProcessView %+v", val, r1, r2)
+	}
+	o1 := p1.MustGet(phv.Ref{Type: phv.Type2B, Index: 1})
+	o2 := p2.MustGet(phv.Ref{Type: phv.Type2B, Index: 1})
+	if o1 != o2 {
+		t.Fatalf("val %#x: Process wrote %d, ProcessView wrote %d", val, o1, o2)
+	}
+	return r1, uint16(o1)
+}
+
+// TestStageModuleIDMaskingParity is the regression for the masking
+// sweep: a module ID past the 12-bit wire width must alias onto the
+// masked ID identically in Process, ViewFor/ProcessView, flow lookups,
+// and ClearModule. Before the sweep, ViewFor's partition fallback and
+// ClearModule's action sweep compared the raw index against the CAM's
+// masked ModID and silently disagreed with Process.
+func TestStageModuleIDMaskingParity(t *testing.T) {
+	s := newStage(t)
+	installSimple(t, s, 5, 0x1234, setAction(1, 999), 0)
+	const wrapped = uint16(tables.MaxModuleID+1) + 5 // masks to 5
+
+	if res, out := runBoth(t, s, wrapped, 0x1234); !res.Hit || out != 999 {
+		t.Fatalf("wrapped module ID missed: %+v out=%d", res, out)
+	}
+
+	// A flow entry installed under the wrapped ID must serve the masked
+	// one, and take precedence over the CAM entry.
+	if err := s.Actions.Set(1, setAction(1, 777)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteFlow(true, wrapped, flowKey(0x1234), 1); err != nil {
+		t.Fatal(err)
+	}
+	if res, out := runBoth(t, s, 5, 0x1234); !res.Hit || res.ActionAddr != 1 || out != 777 {
+		t.Fatalf("flow under wrapped ID not honored: %+v out=%d", res, out)
+	}
+
+	// Clearing via the wrapped index must clear the masked module on
+	// every table, cuckoo side included.
+	if err := s.ClearModule(int(wrapped)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Match.ValidCount(5) != 0 || s.Hash.ModuleEntries(5) != 0 {
+		t.Fatalf("ClearModule(wrapped) left entries: cam=%d flows=%d",
+			s.Match.ValidCount(5), s.Hash.ModuleEntries(5))
+	}
+	var p phv.PHV
+	p.ModuleID = 5
+	if res, err := s.Process(&p); err != nil || res.Active {
+		t.Fatalf("cleared module still active: %+v, %v", res, err)
+	}
+}
+
+// TestStageFlowScanVsHashCuckooParity drives the same module through
+// both flow-resolution modes — folded word-scan candidates at or below
+// FlowScanThreshold, cuckoo hash probe above it — and checks Process
+// and ProcessView agree on hits, precedence over the CAM, and ternary
+// fallback on flow misses in both modes.
+func TestStageFlowScanVsHashCuckooParity(t *testing.T) {
+	s := newStage(t)
+	installSimple(t, s, 1, 0x1234, setAction(1, 111), 0)
+	installSimple(t, s, 1, 0x1111, setAction(1, 333), 2)
+	if err := s.Actions.Set(1, setAction(1, 222)); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(mode string) {
+		t.Helper()
+		// Flow overriding the CAM entry for 0x1234 → action 1 (222).
+		if res, out := runBoth(t, s, 1, 0x1234); !res.Hit || res.ActionAddr != 1 || out != 222 {
+			t.Fatalf("%s: flow precedence broken: %+v out=%d", mode, res, out)
+		}
+		// Pure flow keys → action 1.
+		if res, out := runBoth(t, s, 1, 0x2002); !res.Hit || res.ActionAddr != 1 || out != 222 {
+			t.Fatalf("%s: flow key missed: %+v out=%d", mode, res, out)
+		}
+		// CAM-only key resolves through the fallback scan.
+		if res, out := runBoth(t, s, 1, 0x1111); !res.Hit || res.ActionAddr != 2 || out != 333 {
+			t.Fatalf("%s: CAM fallback broken: %+v out=%d", mode, res, out)
+		}
+		// Full miss.
+		if res, _ := runBoth(t, s, 1, 0x9999); !res.Active || res.Hit {
+			t.Fatalf("%s: miss mishandled: %+v", mode, res)
+		}
+	}
+
+	// Scan mode: a handful of flows, folded into the candidate list.
+	for val := uint16(0x2000); val < 0x2004; val++ {
+		if err := s.WriteFlow(true, 1, flowKey(val), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.WriteFlow(true, 1, flowKey(0x1234), 1); err != nil {
+		t.Fatal(err)
+	}
+	if v := s.ViewFor(1); v.hash != nil {
+		t.Fatal("few flows should stay in scan mode")
+	}
+	check("scan")
+
+	// Hash mode: push the flow count past the threshold.
+	for i := uint16(0); i <= uint16(FlowScanThreshold); i++ {
+		if err := s.WriteFlow(true, 1, flowKey(0x3000+i), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v := s.ViewFor(1); v.hash == nil {
+		t.Fatalf("%d flows should select hash mode", s.Hash.ModuleEntries(1))
+	}
+	check("hash")
+
+	// Deleting back below the threshold returns to scan mode with the
+	// same answers.
+	for i := uint16(0); i <= uint16(FlowScanThreshold); i++ {
+		if err := s.WriteFlow(false, 1, flowKey(0x3000+i), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v := s.ViewFor(1); v.hash != nil {
+		t.Fatal("flow deletes should return the view to scan mode")
+	}
+	check("scan-after-delete")
+}
+
+// TestStageClearModuleClearsCuckooFlows checks per-module clearing on
+// the cuckoo side leaves other modules' flows untouched.
+func TestStageClearModuleClearsCuckooFlows(t *testing.T) {
+	s := newStage(t)
+	installSimple(t, s, 1, 0x1234, setAction(1, 111), 0)
+	installSimple(t, s, 2, 0x1234, setAction(1, 222), 1)
+	if err := s.WriteFlow(true, 1, flowKey(0x2000), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteFlow(true, 2, flowKey(0x2000), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ClearModule(1); err != nil {
+		t.Fatal(err)
+	}
+	if s.Hash.ModuleEntries(1) != 0 {
+		t.Fatal("module 1 flows survived ClearModule")
+	}
+	if s.Hash.ModuleEntries(2) != 1 {
+		t.Fatal("module 2 flows were collateral damage")
+	}
+	if res, out := runBoth(t, s, 2, 0x2000); !res.Hit || out != 222 {
+		t.Fatalf("module 2 flow broken after clearing module 1: %+v out=%d", res, out)
+	}
+}
+
+// TestFlowCacheStoreLookup covers the cache's direct-mapped contract:
+// sizing, hit/miss accounting, the cached-miss sentinel, and implicit
+// invalidation when the configuration generation moves.
+func TestFlowCacheStoreLookup(t *testing.T) {
+	fc := NewFlowCache(10)
+	if fc.Entries() != 16 {
+		t.Fatalf("entries = %d, want 16", fc.Entries())
+	}
+	kw := tables.KeyWords{1, 2, 3, 4}
+	if _, ok := fc.lookup(1, 0, 7, &kw); ok {
+		t.Fatal("empty cache hit")
+	}
+	fc.store(1, 0, 7, &kw, 42)
+	if addr, ok := fc.lookup(1, 0, 7, &kw); !ok || addr != 42 {
+		t.Fatalf("lookup = %d,%v", addr, ok)
+	}
+	// A different module, stage, or generation must all miss.
+	if _, ok := fc.lookup(1, 0, 8, &kw); ok {
+		t.Fatal("module tag ignored")
+	}
+	if _, ok := fc.lookup(1, 1, 7, &kw); ok {
+		t.Fatal("stage tag ignored")
+	}
+	if _, ok := fc.lookup(2, 0, 7, &kw); ok {
+		t.Fatal("stale generation served")
+	}
+	// Misses are cacheable: -1 round-trips as a valid resolution.
+	fc.store(2, 0, 7, &kw, -1)
+	if addr, ok := fc.lookup(2, 0, 7, &kw); !ok || addr != -1 {
+		t.Fatalf("cached miss = %d,%v", addr, ok)
+	}
+	hits, misses := fc.Stats()
+	if hits != 2 || misses != 4 {
+		t.Fatalf("stats = %d hits, %d misses; want 2, 4", hits, misses)
+	}
+}
+
+// TestFlowCacheViewParity checks that a hash-mode view answers
+// identically with and without an attached cache — including cached
+// misses — and that bumping the attached generation invalidates stale
+// resolutions after a flow is re-pointed.
+func TestFlowCacheViewParity(t *testing.T) {
+	s := newStage(t)
+	installSimple(t, s, 1, 0x1234, setAction(1, 111), 0)
+	if err := s.Actions.Set(1, setAction(1, 222)); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint16(0); i <= uint16(FlowScanThreshold); i++ {
+		if err := s.WriteFlow(true, 1, flowKey(0x4000+i), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Scan-mode views must refuse the cache (the scan is cheaper).
+	scanView := s.ViewFor(2)
+	scanView.AttachFlowCache(NewFlowCache(16), 1, 0)
+	if scanView.cache != nil {
+		t.Fatal("cache attached to a non-hash view")
+	}
+
+	fc := NewFlowCache(64)
+	probe := func(gen uint64, val uint16) (Result, Result) {
+		t.Helper()
+		mk := func() phv.PHV {
+			var p phv.PHV
+			p.ModuleID = 1
+			p.MustSet(phv.Ref{Type: phv.Type2B, Index: 0}, uint64(val))
+			return p
+		}
+		plain, cached := s.ViewFor(1), s.ViewFor(1)
+		cached.AttachFlowCache(fc, gen, 3)
+		if cached.cache == nil {
+			t.Fatal("cache did not attach to hash-mode view")
+		}
+		p1, p2 := mk(), mk()
+		r1, err := s.ProcessView(&plain, &p1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := s.ProcessView(&cached, &p2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r1, r2
+	}
+
+	// Two rounds per key: the second round is served from the cache and
+	// must still agree (0x9999 exercises the cached-miss path).
+	for round := 0; round < 2; round++ {
+		for _, val := range []uint16{0x4000, 0x4001, 0x1234, 0x9999} {
+			if r1, r2 := probe(7, val); r1 != r2 {
+				t.Fatalf("round %d val %#x: plain %+v cached %+v", round, val, r1, r2)
+			}
+		}
+	}
+	if hits, _ := fc.Stats(); hits < 4 {
+		t.Fatalf("cache never hit: %d", hits)
+	}
+
+	// Re-point one flow at a different action; a view resolved under the
+	// next generation must not serve the stale cached address.
+	if err := s.WriteFlow(true, 1, flowKey(0x4000), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, r2 := probe(8, 0x4000); r2.ActionAddr != 0 {
+		t.Fatalf("stale cache entry served across generations: %+v", r2)
+	}
+	// Under the old generation the stale entry is still visible — the
+	// invalidation contract is that the engine never reuses an old gen.
+	if r1, r2 := probe(8, 0x4000); r1 != r2 {
+		t.Fatalf("post-invalidation disagreement: %+v vs %+v", r1, r2)
+	}
+}

@@ -229,6 +229,12 @@ type Stage struct {
 	// indexes. Both are space-partitioned across modules.
 	Match   *tables.CAM
 	Actions *alu.Table
+	// Hash is the deep exact-match side of the match table (§4.3): a
+	// growing cuckoo table holding per-flow entries keyed by (key,
+	// module ID), each resolving to a VLIW action address. Flow entries
+	// take precedence over CAM entries in both Process and ProcessView;
+	// ternary rules stay in the CAM.
+	Hash *tables.Cuckoo
 	// Memory is the stage's stateful memory, reached through Segments.
 	Memory   *tables.StatefulMemory
 	Segments *tables.SegmentTable
@@ -257,6 +263,7 @@ func New(cfg Config) *Stage {
 		Mask:     tables.NewOverlay[tables.Key](cfg.OverlayDepth),
 		Match:    tables.NewCAM(cfg.CAMDepth),
 		Actions:  alu.NewTable(cfg.CAMDepth),
+		Hash:     tables.NewGrowingCuckoo(cfg.CAMDepth),
 		Memory:   tables.NewStatefulMemory(cfg.MemoryWords),
 		Segments: tables.NewSegmentTable(cfg.OverlayDepth),
 	}
@@ -283,7 +290,10 @@ type Result struct {
 // actions).
 func (s *Stage) Process(p *phv.PHV) (Result, error) {
 	var res Result
-	modIdx := int(p.ModuleID)
+	// Module IDs are 12 bits on the wire; normalize once so every table
+	// below (overlays, CAM, cuckoo, segment translation) sees the same
+	// index for out-of-range values.
+	modIdx := int(p.ModuleID) & tables.MaxModuleID
 	entry, ok := s.Extract.Lookup(modIdx)
 	if !ok {
 		return res, nil
@@ -298,7 +308,15 @@ func (s *Stage) Process(p *phv.PHV) (Result, error) {
 		key = key.Masked(mask)
 	}
 
-	addr, hit := s.Match.Lookup(key, p.ModuleID)
+	// Flow entries (the deep exact-match side) take precedence over CAM
+	// entries; the CAM resolves ternary rules and compiled defaults.
+	addr, hit := 0, false
+	if s.Hash != nil && s.Hash.ModuleEntries(uint16(modIdx)) > 0 {
+		addr, hit = s.Hash.Lookup(key, uint16(modIdx))
+	}
+	if !hit {
+		addr, hit = s.Match.Lookup(key, uint16(modIdx))
+	}
 	if !hit {
 		return res, nil
 	}
@@ -342,18 +360,108 @@ type View struct {
 	// the per-packet key masking and ternary compare fused into one
 	// (mask, want) word test — see tables.CAMEntry.MatchWords. The
 	// per-packet match therefore never copies a key and performs four
-	// AND+compare word operations per candidate.
+	// AND+compare word operations per candidate. When the module has at
+	// most FlowScanThreshold flow entries, they are folded in ahead of
+	// the CAM candidates (flow entries take precedence, and being
+	// unique-keyed at most one can match).
 	match []viewMatch
+	// hash is non-nil in hash mode (flow count above FlowScanThreshold):
+	// ProcessView probes it with the module-masked key words before
+	// falling back to the CAM candidate scan.
+	hash     *tables.Cuckoo
+	hashMod  uint16
+	hashMask tables.KeyWords
+	// cache, when attached, memoizes the full match resolution (flow
+	// probe + CAM scan) keyed by the raw key words; entries from stale
+	// configuration generations are ignored. Hash mode only.
+	cache      *FlowCache
+	cacheGen   uint64
+	cacheStage uint8
 }
 
-// viewMatch is one precompiled CAM candidate of a View.
+// FlowScanThreshold is the per-module flow-entry count above which a
+// View resolves exact-match flows through the cuckoo hash probe instead
+// of folding them into the precompiled word-scan candidate list. At or
+// below the threshold a linear scan over a handful of candidates beats
+// a hash probe's two bucket reads; above it the probe is O(1)
+// regardless of flow count.
+const FlowScanThreshold = tables.CAMDepth
+
+// AttachFlowCache points the view at a per-worker flow cache. It is a
+// no-op unless the view is in hash mode — the scan path is already a
+// few word compares, cheaper than a cache probe. gen is the pipeline
+// configuration generation the view was resolved under and stg the
+// stage index; both become part of the cache key so stale entries
+// self-invalidate.
+func (v *View) AttachFlowCache(fc *FlowCache, gen uint64, stg uint8) {
+	if v.hash == nil || fc == nil {
+		return
+	}
+	v.cache = fc
+	v.cacheGen = gen
+	v.cacheStage = stg
+}
+
+// PrefetchFlow speculatively warms the memory a hash-mode match will
+// touch for this PHV: the flow cache line and the cuckoo table's two
+// candidate buckets. The batched pipeline calls it for every frame in
+// a batch before executing any of them, so the per-frame bucket reads
+// — random accesses into a table that can span megabytes at million-
+// flow scale — overlap in the memory system instead of serializing.
+// The extraction is speculative (an earlier stage's action could still
+// rewrite a key field), which only costs a wasted prefetch; resolution
+// in ProcessView re-extracts and re-probes authoritatively. No-op
+// outside hash mode.
+func (v *View) PrefetchFlow(p *phv.PHV) {
+	if !v.Active || v.hash == nil {
+		return
+	}
+	var key tables.Key
+	if err := v.Entry.ExtractKeyInto(p, &key); err != nil {
+		return
+	}
+	kw := key.Words()
+	if v.cache != nil {
+		v.cache.prefetch(v.cacheGen, v.cacheStage, v.hashMod, &kw)
+	}
+	mkw := tables.KeyWords{
+		kw[0] & v.hashMask[0],
+		kw[1] & v.hashMask[1],
+		kw[2] & v.hashMask[2],
+		kw[3] & v.hashMask[3],
+	}
+	v.hash.PrefetchWords(&mkw, v.hashMod)
+}
+
+// viewMatch is one precompiled match candidate of a View (a CAM entry
+// or a folded-in flow entry).
 type viewMatch struct {
 	mask, want tables.KeyWords
 	addr       int32
 }
 
+// scanMatch runs the fused word-compare over the candidate list and
+// returns the first (highest-priority) matching address, or -1.
+func scanMatch(match []viewMatch, kw *tables.KeyWords) int {
+	for i := range match {
+		m := &match[i]
+		if kw[0]&m.mask[0] == m.want[0] &&
+			kw[1]&m.mask[1] == m.want[1] &&
+			kw[2]&m.mask[2] == m.want[2] &&
+			kw[3]&m.mask[3] == m.want[3] {
+			return int(m.addr)
+		}
+	}
+	return -1
+}
+
 // ViewFor resolves the module's configuration in this stage.
 func (s *Stage) ViewFor(modIdx int) View {
+	// Normalize to the 12-bit wire width once; every comparison below
+	// (partition fallback, candidate precompile, flow enumeration) uses
+	// the same index, keeping ProcessView identical to Process for
+	// out-of-range module indices.
+	modIdx &= tables.MaxModuleID
 	var v View
 	entry, ok := s.Extract.Lookup(modIdx)
 	if !ok {
@@ -362,6 +470,34 @@ func (s *Stage) ViewFor(modIdx int) View {
 	v.Active = true
 	v.Entry = entry
 	v.Mask, v.HasMask = s.Mask.Lookup(modIdx)
+
+	// Exact-match flow entries resolve ahead of the CAM. A handful are
+	// folded into the word-scan candidate list; past FlowScanThreshold
+	// the view switches to hash mode and probes the cuckoo table.
+	flows := 0
+	if s.Hash != nil {
+		flows = s.Hash.ModuleEntries(uint16(modIdx))
+	}
+	switch {
+	case flows > FlowScanThreshold:
+		v.hash = s.Hash
+		v.hashMod = uint16(modIdx)
+		mask := tables.FullMask()
+		if v.HasMask {
+			mask = v.Mask
+		}
+		v.hashMask = mask.Words()
+	case flows > 0:
+		mask := tables.FullMask()
+		if v.HasMask {
+			mask = v.Mask
+		}
+		mw := mask.Words()
+		for _, fe := range s.Hash.ModuleFlows(uint16(modIdx)) {
+			v.match = append(v.match, viewMatch{mask: mw, want: fe.Words, addr: fe.Addr})
+		}
+	}
+
 	v.CAM = s.Match.Entries()
 	lo, hi, ok := s.Match.PartitionOf(uint16(modIdx))
 	if ok {
@@ -386,7 +522,7 @@ func (s *Stage) ViewFor(modIdx int) View {
 	// validity/module checks entirely.
 	for a := lo; a < hi; a++ {
 		e := &v.CAM[a]
-		if !e.Valid || e.ModID != uint16(modIdx)&tables.MaxModuleID {
+		if !e.Valid || e.ModID != uint16(modIdx) {
 			continue
 		}
 		m, w := e.MatchWords(&v.Mask, v.HasMask)
@@ -412,14 +548,31 @@ func (s *Stage) ProcessView(v *View, p *phv.PHV) (Result, error) {
 	kw := key.Words()
 
 	addr := -1
-	for i := range v.match {
-		m := &v.match[i]
-		if kw[0]&m.mask[0] == m.want[0] &&
-			kw[1]&m.mask[1] == m.want[1] &&
-			kw[2]&m.mask[2] == m.want[2] &&
-			kw[3]&m.mask[3] == m.want[3] {
-			addr = int(m.addr)
-			break
+	cached := false
+	if v.cache != nil {
+		addr, cached = v.cache.lookup(v.cacheGen, v.cacheStage, v.hashMod, &kw)
+	}
+	if !cached {
+		if v.hash != nil {
+			// Hash mode: probe the cuckoo side with the module-masked key
+			// words; flow entries take precedence, the CAM candidates
+			// resolve ternary rules on a miss.
+			mkw := tables.KeyWords{
+				kw[0] & v.hashMask[0],
+				kw[1] & v.hashMask[1],
+				kw[2] & v.hashMask[2],
+				kw[3] & v.hashMask[3],
+			}
+			if a, ok := v.hash.LookupWords(&mkw, v.hashMod); ok {
+				addr = a
+			} else {
+				addr = scanMatch(v.match, &kw)
+			}
+		} else {
+			addr = scanMatch(v.match, &kw)
+		}
+		if v.cache != nil {
+			v.cache.store(v.cacheGen, v.cacheStage, v.hashMod, &kw, int32(addr))
 		}
 	}
 	if addr < 0 {
@@ -432,7 +585,7 @@ func (s *Stage) ProcessView(v *View, p *phv.PHV) (Result, error) {
 	if !ok {
 		return res, fmt.Errorf("%w: address %d", ErrNoAction, addr)
 	}
-	env := alu.Env{PHV: p, Memory: s.Memory, Segments: s.Segments, ModIdx: int(p.ModuleID)}
+	env := alu.Env{PHV: p, Memory: s.Memory, Segments: s.Segments, ModIdx: int(p.ModuleID) & tables.MaxModuleID}
 	memOps, err := alu.ExecuteSlots(action, slots, &env)
 	res.MemOps = memOps
 	return res, err
@@ -443,6 +596,9 @@ func (s *Stage) ProcessView(v *View, p *phv.PHV) (Result, error) {
 // leaks to a future tenant of the same slice. Other modules' entries are
 // untouched.
 func (s *Stage) ClearModule(modIdx int) error {
+	// Normalize once, like ViewFor: the CAM stores 12-bit module IDs, so
+	// the action sweep below must compare in the same domain.
+	modIdx &= tables.MaxModuleID
 	if seg, ok := s.Segments.Lookup(modIdx); ok {
 		if err := s.Memory.ZeroRange(uint64(seg.Base), uint64(seg.Range)); err != nil {
 			return err
@@ -465,5 +621,29 @@ func (s *Stage) ClearModule(modIdx int) error {
 		}
 	}
 	s.Match.ClearModule(uint16(modIdx))
+	if s.Hash != nil {
+		s.Hash.ClearModule(uint16(modIdx))
+	}
 	return nil
+}
+
+// WriteFlow installs (valid) or removes (!valid) one exact-match flow
+// entry for the module: key → VLIW action address on the cuckoo side of
+// the match table. The address must lie within the action table; it is
+// normally one of the module's already-installed CAM/VLIW actions, so a
+// flow entry steers a packet to an existing action without consuming
+// CAM depth.
+func (s *Stage) WriteFlow(valid bool, modID uint16, key tables.Key, addr int) error {
+	if s.Hash == nil {
+		return errors.New("stage: no hash match table")
+	}
+	modID &= tables.MaxModuleID
+	if !valid {
+		s.Hash.Delete(key, modID)
+		return nil
+	}
+	if addr < 0 || addr >= s.Actions.Depth() {
+		return fmt.Errorf("stage: flow action address %d out of range (depth %d)", addr, s.Actions.Depth())
+	}
+	return s.Hash.Insert(key, modID, addr)
 }

@@ -6,6 +6,14 @@
 //   - CAM: the per-stage match table (exact match, with the ternary mode
 //     of Appendix B), whose entries carry the module ID appended to the
 //     key so one module's packets can never match another's rules.
+//   - Cuckoo: the §4.3 exact-match alternative to the CAM. The CAM is
+//     shallow (16 entries per stage) and supports ternary masks with
+//     lowest-address priority; the cuckoo table is deep (it grows to
+//     millions of entries) but exact-match only. A stage pairs them:
+//     ternary and compiled rules live in the CAM, high-cardinality flow
+//     entries live in the cuckoo side, and flow entries take precedence
+//     on lookup. Both match the module ID along with the key, so the
+//     isolation property is identical.
 //   - SegmentTable: per-module base/range translation for stateful memory.
 //   - StatefulMemory: the per-stage persistent state RAM.
 //
@@ -336,8 +344,11 @@ func (c *CAM) PartitionOf(modID uint16) (lo, hi int, ok bool) {
 }
 
 // Write installs an entry at an absolute address. The address must lie in
-// the owning module's partition when one is configured.
+// the owning module's partition when one is configured. The entry's
+// module ID is stored masked to its 12-bit wire width so stored and
+// looked-up IDs always compare in the same domain.
 func (c *CAM) Write(addr int, e CAMEntry) error {
+	e.ModID &= MaxModuleID
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	next := c.cloneLocked()
@@ -355,8 +366,10 @@ func (c *CAM) Write(addr int, e CAMEntry) error {
 
 // Insert places the entry at the first free address within the module's
 // partition (or anywhere, if no partition is configured) and returns the
-// address.
+// address. The entry's module ID is stored masked to its 12-bit wire
+// width, like Write.
 func (c *CAM) Insert(e CAMEntry) (int, error) {
+	e.ModID &= MaxModuleID
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	next := c.cloneLocked()
@@ -395,6 +408,7 @@ func (c *CAM) Lookup(key Key, modID uint16) (int, bool) {
 // ClearModule invalidates every entry owned by modID. Entries of other
 // modules are untouched — the no-disruption property for match tables.
 func (c *CAM) ClearModule(modID uint16) int {
+	modID &= MaxModuleID
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	next := c.cloneLocked()
@@ -419,8 +433,12 @@ func (c *CAM) Entry(addr int) (CAMEntry, error) {
 }
 
 // ValidCount returns the number of installed entries, optionally filtered
-// by module (pass modID < 0 for all modules).
+// by module (pass modID < 0 for all modules). A non-negative modID is
+// masked to its 12-bit wire width, matching Write's storage domain.
 func (c *CAM) ValidCount(modID int) int {
+	if modID >= 0 {
+		modID &= MaxModuleID
+	}
 	entries := *c.entries.Load()
 	n := 0
 	for i := range entries {

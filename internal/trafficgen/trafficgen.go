@@ -149,6 +149,33 @@ func FlowPacket(moduleID uint16, src, dst packet.IPv4Addr, sport, dport uint16, 
 	return bld.MustBuild()
 }
 
+// FlowScaleTuple maps a flow ordinal onto the distinct (destination IP,
+// source port) pair its frames carry in the flow-scale workload — the
+// two fields the Load Balancing program keys on. The source port holds
+// the low 16 bits and the third destination-IP octet the next 8, so up
+// to 2^24 flows stay pairwise distinct.
+func FlowScaleTuple(flow int) (dst packet.IPv4Addr, sport uint16) {
+	return packet.IPv4Addr{10, 77, byte(flow >> 16), 10}, uint16(flow)
+}
+
+// FlowScaleFrame builds the representative frame of one flow in the
+// flow-scale workload (every frame of flow f is identical, so this
+// also serves as the install-time key source for FlowKeyForFrame).
+func FlowScaleFrame(moduleID uint16, flow, frameBytes int) []byte {
+	dst, sport := FlowScaleTuple(flow)
+	return FlowPacket(moduleID, packet.IPv4Addr{10, 0, byte(moduleID), 1}, dst, sport, 80, frameBytes)
+}
+
+// FlowScaleGen returns a generator cycling over `flows` distinct flows
+// of one tenant: the depth≫CAM workload for the cuckoo match path
+// (10⁵–10⁶ exact-match flow entries, each frame matching its own).
+func FlowScaleGen(moduleID uint16, frameBytes, flows int) func(i int) []byte {
+	if flows <= 0 {
+		flows = 1
+	}
+	return func(i int) []byte { return FlowScaleFrame(moduleID, i%flows, frameBytes) }
+}
+
 // Stream is a fixed-rate packet source for one module: the netmap/
 // tcpreplay role in the Figure 10 experiment.
 type Stream struct {

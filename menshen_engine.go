@@ -18,6 +18,7 @@ package menshen
 import (
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/reconfig"
 )
 
 // EngineResult is the per-frame outcome delivered to OnBatch. Data
@@ -83,6 +84,14 @@ type EngineConfig struct {
 	// traverses, called on the worker goroutine; keep it cheap (the
 	// obs package's Tracer ring is the intended sink).
 	OnTrace func(TraceHop)
+
+	// FlowCacheEntries sizes each worker's exact-match flow cache: the
+	// per-worker fast path in front of large (hash-mode) match tables.
+	// 0 selects the default size, negative disables the cache. Cached
+	// resolutions are invalidated automatically by any
+	// reconfiguration. Modules with small match tables never consult
+	// the cache, so it is free for them.
+	FlowCacheEntries int
 }
 
 // TraceHop is one sampled frame's per-hop trace record; see
@@ -124,6 +133,7 @@ func (d *Device) NewEngine(cfg EngineConfig) (*Engine, error) {
 		EgressQuantumBytes: cfg.EgressQuantumBytes,
 		TraceEvery:         cfg.TraceEvery,
 		OnTrace:            cfg.OnTrace,
+		FlowCacheEntries:   cfg.FlowCacheEntries,
 	})
 	if err != nil {
 		return nil, err
@@ -277,6 +287,29 @@ func (e *Engine) EndTenantUpdate(tenant uint16) (uint64, error) {
 // opposed to the hold semantics of BeginTenantUpdate.
 func (e *Engine) SetTenantUpdating(tenant uint16, updating bool) (uint64, error) {
 	return e.eng.SetTenantUpdating(tenant, updating)
+}
+
+// FlowEntry is one exact-match flow rule for InsertFlows: a match key
+// resolving to an already-installed VLIW action address. See
+// core.FlowEntry.
+type FlowEntry = core.FlowEntry
+
+// InsertFlows installs a batch of exact-match flow entries for one
+// module into the given stage of every running worker shard, through
+// the generation-tagged control queue (entries with Valid false are
+// deletions). Flow entries scale the module's exact-match depth far
+// beyond the CAM — the §4.3 cuckoo path — without consuming CAM
+// entries: each flow steers packets to one of the module's existing
+// actions. Returns the operation's generation; AwaitQuiesce on it
+// guarantees the flows are live on every shard. Derive keys for live
+// traffic with Device.ControlPlane().FlowKeyForFrame.
+func (e *Engine) InsertFlows(moduleID uint16, stg int, flows []FlowEntry) (uint64, error) {
+	cmds := make([]reconfig.Command, len(flows))
+	for i, f := range flows {
+		f.ModID = moduleID
+		cmds[i] = core.FlowCommand(stg, f)
+	}
+	return e.eng.ApplyReconfig(moduleID, cmds...)
 }
 
 // SetEgressWeight configures a tenant's §3.5 egress WFQ weight live,
