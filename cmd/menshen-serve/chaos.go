@@ -1,0 +1,273 @@
+// The -chaos mode: a self-checking reliability harness. It runs a
+// 3-node engine fabric with a noisy link (drop/corrupt/delay/reorder),
+// a flapping link, and seeded §4.1 command loss on the middle node's
+// control plane, then layers a deterministic schedule of egress-weight
+// churn and live verified module reloads over the traffic run. At the
+// end it asserts the chaos invariants — every injected frame is
+// delivered or counted (conservation), every verified reload converged
+// with replica parity across shards, no shard is stalled — and exits
+// non-zero on any violation, so CI can run it as a smoke test.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/checker"
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/fabric"
+	"repro/internal/faultinject"
+	"repro/internal/packet"
+	"repro/internal/sysmod"
+	"repro/internal/trafficgen"
+)
+
+// chaosRun carries the -chaos mode's parameters.
+type chaosRun struct {
+	tenants               int
+	workers, batch, queue int
+	packets, size, flows  int
+	seed                  uint64
+	loss                  float64
+	events                int
+}
+
+// runChaos builds the chaotic fabric, drives traffic with control
+// churn, and verifies the invariants.
+func runChaos(r chaosRun) {
+	const nodes = 3
+	vip := packet.IPv4Addr{10, 9, 9, 9}
+	ids := make([]uint16, r.tenants)
+	for i := range ids {
+		ids[i] = uint16(i + 1)
+	}
+
+	fab := fabric.NewEngineFabric(nil) // deliveries are counted, not retained
+	// The middle node's module specs are kept for the verified-reload
+	// events: a reload replays the exact spec that was unloaded.
+	midSpecs := map[uint16]engine.ModuleSpec{}
+	for i := 0; i < nodes; i++ {
+		name := fmt.Sprintf("s%d", i)
+		sys := sysmod.NewConfig()
+		port := uint8(1) // forward along the chain
+		if i == nodes-1 {
+			port = 2 // host-terminal on the last node
+		}
+		for _, id := range ids {
+			sys.AddRoute(id, vip, port)
+		}
+		alloc := checker.NewAllocator(checker.CapacityOf(core.DefaultGeometry()), nil)
+		specs := make([]engine.ModuleSpec, 0, len(ids))
+		for _, id := range ids {
+			prog, err := compiler.Compile(fabricPassthrough, compiler.Options{ModuleID: id})
+			if err != nil {
+				fatal(err)
+			}
+			if err := sys.Augment(prog.Config); err != nil {
+				fatal(err)
+			}
+			pl, err := alloc.Admit(prog.Config)
+			if err != nil {
+				fatal(err)
+			}
+			spec := engine.ModuleSpec{Config: prog.Config, Placement: pl}
+			specs = append(specs, spec)
+			if i == 1 {
+				midSpecs[id] = spec
+			}
+		}
+		if _, err := fab.AddNode(name, sys, fabric.NodeConfig{
+			Workers:      r.workers,
+			QueueDepth:   r.queue,
+			BatchSize:    r.batch,
+			Modules:      specs,
+			StallTimeout: 500 * time.Millisecond,
+		}); err != nil {
+			fatal(err)
+		}
+		if i > 0 {
+			if err := fab.Link(fmt.Sprintf("s%d", i-1), 1, name, 0); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	// The first hop is a noisy cable; the second flaps on a periodic
+	// down schedule — bursty loss recovers very differently from
+	// uniform loss.
+	noisy, err := fab.FaultLink("s0", 1, faultinject.Plan{
+		Seed: r.seed*2 + 1, Drop: 0.06, Corrupt: 0.03, Delay: 0.05, Reorder: 0.08,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	flappy, err := fab.FaultLink("s1", 1, faultinject.Plan{
+		Seed: r.seed*2 + 2, Flap: faultinject.Flap{Period: 2048, Down: 256},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if err := fab.Start(); err != nil {
+		fatal(err)
+	}
+	mid, err := fab.Node("s1")
+	if err != nil {
+		fatal(err)
+	}
+	entry, err := fab.Node("s0")
+	if err != nil {
+		fatal(err)
+	}
+	// Seeded command loss on the middle node's control plane: every
+	// verified reload must recover through the §4.1 counter poll.
+	mid.Eng.SetReconfigFault(faultinject.New(faultinject.Plan{Seed: r.seed*2 + 3, Drop: r.loss}))
+
+	perBatch := r.batch * r.workers
+	totalBatches := (r.packets + perBatch - 1) / perBatch
+	schedule := trafficgen.ChaosSchedule(trafficgen.NewPRNG(r.seed), totalBatches, r.events, ids)
+	fmt.Printf("chaos: 3-node chain, %d tenants, %d workers/node, %d frames, %.0f%% command loss, %d events\n",
+		r.tenants, r.workers, r.packets, r.loss*100, len(schedule))
+
+	vopts := engine.VerifyOpts{MaxAttempts: 64, Backoff: 50 * time.Microsecond, MaxBackoff: 2 * time.Millisecond}
+	var violations []string
+	violatef := func(format string, args ...any) {
+		violations = append(violations, fmt.Sprintf(format, args...))
+	}
+
+	sc := trafficgen.FabricScenario(r.seed, vip, r.size, r.flows, ids...)
+	var frames [][]byte
+	reloads, churns := 0, 0
+	var resent, attempts uint64
+	next := 0 // next unfired schedule index
+	start := time.Now()
+	for sent, b := 0, 0; sent < r.packets; b++ {
+		for next < len(schedule) && schedule[next].AtBatch <= b {
+			ev := schedule[next]
+			next++
+			switch ev.Kind {
+			case trafficgen.ChaosWeightChurn:
+				if _, err := entry.Eng.SetEgressWeight(ev.Tenant, ev.Weight); err != nil {
+					fatal(err)
+				}
+				churns++
+			case trafficgen.ChaosReload:
+				if _, err := mid.Eng.UnloadModuleLive(ev.Tenant); err != nil {
+					fatal(err)
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				_, rep, verr := mid.Eng.LoadModuleVerified(ctx, midSpecs[ev.Tenant], vopts)
+				cancel()
+				if verr != nil {
+					violatef("verified reload of tenant %d: %v", ev.Tenant, verr)
+				}
+				resent += uint64(rep.Resent)
+				attempts += uint64(rep.Attempts)
+				reloads++
+			}
+		}
+		n := perBatch
+		if rem := r.packets - sent; n > rem {
+			n = rem
+		}
+		frames = sc.NextBatch(frames[:0], n)
+		if _, err := fab.InjectBatch("s0", 0, frames); err != nil {
+			fatal(err)
+		}
+		sent += n
+	}
+	fab.Drain()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	qerr := fab.QuiesceCtx(ctx)
+	cancel()
+	if qerr != nil {
+		violatef("fabric quiesce: %v", qerr)
+	}
+	wall := time.Since(start)
+
+	st := fab.Stats()
+	var pipelineDrops, egressDrops uint64
+	for _, ns := range st.Nodes {
+		for _, id := range ns.Engine.TenantIDs() {
+			ts := ns.Engine.Tenants[id]
+			pipelineDrops += ts.PipelineDrops
+			egressDrops += ts.EgressDropped
+		}
+	}
+	counted := st.Delivered + st.FaultDropped + st.LinkDropped + st.TTLDropped + pipelineDrops + egressDrops
+	injected := uint64(r.packets)
+
+	fmt.Printf("\n--- chaos report (%v) ---\n", wall.Round(time.Millisecond))
+	nc, fc := noisy.Counts(), flappy.Counts()
+	fmt.Printf("noisy link s0->s1:  seen %8d  dropped %6d  corrupted %6d  delayed %6d  reordered %6d\n",
+		nc.Seen, nc.Dropped, nc.Corrupted, nc.Delayed, nc.Reordered)
+	fmt.Printf("flappy link s1->s2: seen %8d  dropped %6d (periodic down windows)\n", fc.Seen, fc.Dropped)
+	fmt.Printf("frames: injected %d = delivered %d + link-faults %d + ring %d + ttl %d + pipeline %d + egress %d (counted %d)\n",
+		injected, st.Delivered, st.FaultDropped, st.LinkDropped, st.TTLDropped, pipelineDrops, egressDrops, counted)
+	if counted != injected {
+		violatef("conservation: injected %d but counted %d — %d frames unaccounted for",
+			injected, counted, int64(injected)-int64(counted))
+	}
+	if st.Delivered == 0 {
+		violatef("no frames delivered end to end")
+	}
+
+	ms := mid.Eng.Stats()
+	fmt.Printf("control plane s1: %d verified reloads, %d weight churns, %d commands re-sent over %d bursts, %d faults injected, %d verify failures\n",
+		reloads, churns, resent, attempts, ms.CmdFaultsInjected, ms.VerifyFailures)
+	if reloads > 0 && r.loss > 0 {
+		if ms.ReconfigRetries == 0 {
+			violatef("command loss %.0f%% but zero retry bursts — the fault plan never bit", r.loss*100)
+		}
+		if ms.CmdFaultsInjected == 0 {
+			violatef("command loss %.0f%% but zero injected command faults", r.loss*100)
+		}
+	}
+	if ms.VerifyFailures != 0 {
+		violatef("%d verified reloads exhausted their retry budget", ms.VerifyFailures)
+	}
+
+	// Replica parity everywhere: after recovery every shard of every
+	// node agrees on every tenant's configuration — no torn replicas.
+	for i := 0; i < nodes; i++ {
+		name := fmt.Sprintf("s%d", i)
+		n, err := fab.Node(name)
+		if err != nil {
+			fatal(err)
+		}
+		if ds := n.Eng.Stats().DegradedWorkers; ds != 0 {
+			violatef("node %s: %d shards still degraded after quiesce", name, ds)
+		}
+		for _, id := range ids {
+			var cs0 uint64
+			for w := 0; w < n.Eng.Workers(); w++ {
+				pipe, err := n.Eng.Pipeline(w)
+				if err != nil {
+					fatal(err)
+				}
+				if cs := pipe.ModuleChecksum(id); w == 0 {
+					cs0 = cs
+				} else if cs != cs0 {
+					violatef("node %s tenant %d: shard %d checksum %#x != shard 0 %#x (torn replica)",
+						name, id, w, cs, cs0)
+				}
+			}
+		}
+	}
+	if err := fab.Close(); err != nil {
+		fatal(err)
+	}
+
+	if len(violations) > 0 {
+		fmt.Printf("\nchaos: FAIL — %d invariant violation(s)\n", len(violations))
+		for _, v := range violations {
+			fmt.Println("  -", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("\nchaos: PASS — conservation holds, %d/%d reloads converged with replica parity, no stalls\n",
+		reloads, reloads)
+}

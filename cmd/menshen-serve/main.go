@@ -12,9 +12,11 @@
 //	menshen-serve -live-reconfig 8                 # reload the last tenant 8x mid-run
 //	menshen-serve -fabric 3                        # 3-node engine fabric (chain)
 //	menshen-serve -fabric 3 -fabric-ring           # cyclic topology: counted TTL drops
+//	menshen-serve -chaos -packets 200000           # self-checking fault-injection harness
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
@@ -70,7 +72,29 @@ func main() {
 		"keep the engine and management API alive this long after the traffic run, so scrapes and control mutations can land against a live dataplane")
 	traceEvery := flag.Int("trace-every", 0,
 		"sample every Nth submitted frame into the trace ring (GET /traces); 0 = off")
+	chaosMode := flag.Bool("chaos", false,
+		"run the self-checking chaos harness: a 3-node fabric with a noisy link, a flapping link, and seeded control-plane command loss, under scheduled weight churn and live verified reloads; exits non-zero if conservation, replica parity, or liveness is violated")
+	chaosLoss := flag.Float64("chaos-loss", 0.05,
+		"per-command loss probability injected into the middle node's reconfig delivery (-chaos only)")
+	chaosEvents := flag.Int("chaos-events", 12,
+		"scheduled control-plane events — alternating egress-weight churn and verified reloads (-chaos only)")
 	flag.Parse()
+
+	if *chaosMode {
+		runChaos(chaosRun{
+			tenants: *fabricTenants,
+			workers: *workers,
+			batch:   *batch,
+			queue:   *queue,
+			packets: *packets,
+			size:    *size,
+			flows:   *flows,
+			seed:    *seed,
+			loss:    *chaosLoss,
+			events:  *chaosEvents,
+		})
+		return
+	}
 
 	if *fabricNodes > 0 {
 		runFabric(fabricRun{
@@ -185,7 +209,8 @@ func main() {
 				eng.SetTenantLimit(tenant, pps, bps)
 				return eng.ReconfigGen(), nil
 			},
-			AwaitQuiesce: eng.AwaitQuiesce,
+			AwaitQuiesce:    eng.AwaitQuiesce,
+			AwaitQuiesceCtx: eng.AwaitQuiesceCtx,
 		}, obs.Source{StatsInto: eng.StatsInto})
 		mgmtLn = startMgmt(*mgmtAddr, srv)
 	}
@@ -260,8 +285,13 @@ func main() {
 	}
 	eng.Drain()
 	if lastGen > 0 {
-		if err := eng.AwaitQuiesce(lastGen); err != nil {
-			fatal(err)
+		// Bounded wait: a wedged shard turns into a reported failure,
+		// not a hung process.
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		err := eng.AwaitQuiesceCtx(ctx, lastGen)
+		cancel()
+		if err != nil {
+			fatal(fmt.Errorf("await quiesce of generation %d: %w", lastGen, err))
 		}
 	}
 	wall := time.Since(start)
@@ -515,7 +545,8 @@ func runFabric(r fabricRun) {
 				entry.Eng.SetTenantLimit(tenant, pps, bps)
 				return entry.Eng.ReconfigGen(), nil
 			},
-			AwaitQuiesce: entry.Eng.AwaitQuiesce,
+			AwaitQuiesce:    entry.Eng.AwaitQuiesce,
+			AwaitQuiesceCtx: entry.Eng.AwaitQuiesceCtx,
 		}, sources...)
 		mgmtLn = startMgmt(r.mgmtAddr, srv)
 	}

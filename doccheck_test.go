@@ -23,6 +23,7 @@ var docCheckedDirs = []string{
 	"internal/sched",
 	"internal/fabric",
 	"internal/obs",
+	"internal/faultinject",
 }
 
 // TestExportedDocComments fails for every exported type, function,

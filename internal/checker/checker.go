@@ -246,6 +246,61 @@ func (a *Allocator) Admit(m *core.ModuleConfig) (core.Placement, error) {
 	return pl, nil
 }
 
+// Restore re-records a module at an exact placement it held before,
+// bypassing placement search and policy admission. It is the rollback
+// path after a failed verified reload: the module's old resources were
+// freed moments ago and must be reclaimed at the same bases the running
+// shards rolled back to, not wherever first-fit would now put them. The
+// requested spans are still checked against current occupancy, so a
+// conflicting concurrent load surfaces as ErrAdmission rather than
+// silent overlap.
+func (a *Allocator) Restore(m *core.ModuleConfig, pl core.Placement) error {
+	if _, dup := a.loaded[m.ModuleID]; dup {
+		return fmt.Errorf("%w: id %d", ErrDuplicate, m.ModuleID)
+	}
+	type commit struct {
+		stage    int
+		cam, mem span
+	}
+	var commits []commit
+	for s, sc := range m.Stages {
+		if !sc.Used {
+			continue
+		}
+		st := &a.stages[s]
+		cam := span{mod: m.ModuleID, lo: pl.CAMBase[s], hi: pl.CAMBase[s] + sc.PartitionSize()}
+		mem := span{mod: m.ModuleID, lo: int(pl.SegBase[s]), hi: int(pl.SegBase[s]) + int(sc.SegmentWords)}
+		if overlaps(st.camSpans, cam) || overlaps(st.memSpans, mem) {
+			return fmt.Errorf("%w: stage %d placement no longer free for module %d",
+				ErrAdmission, s, m.ModuleID)
+		}
+		commits = append(commits, commit{stage: s, cam: cam, mem: mem})
+	}
+	for _, c := range commits {
+		st := &a.stages[c.stage]
+		if c.cam.hi > c.cam.lo {
+			st.camSpans = append(st.camSpans, c.cam)
+		}
+		if c.mem.hi > c.mem.lo {
+			st.memSpans = append(st.memSpans, c.mem)
+		}
+	}
+	a.loaded[m.ModuleID] = m.Demand()
+	return nil
+}
+
+func overlaps(spans []span, s span) bool {
+	if s.hi <= s.lo {
+		return false
+	}
+	for _, sp := range spans {
+		if s.lo < sp.hi && sp.lo < s.hi {
+			return true
+		}
+	}
+	return false
+}
+
 // Release frees a module's allocations.
 func (a *Allocator) Release(moduleID uint16) error {
 	if _, ok := a.loaded[moduleID]; !ok {

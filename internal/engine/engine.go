@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ctrlplane"
+	"repro/internal/faultinject"
 	"repro/internal/reconfig"
 	"repro/internal/sched"
 	"repro/internal/stage"
@@ -167,6 +168,16 @@ type Config struct {
 	// circulating through one freelist. Leave nil for a private pool.
 	Pool *Pool
 
+	// StallTimeout, when > 0, arms the per-worker watchdog: a shard
+	// that has pending work (queued frames, control operations, or an
+	// in-flight batch) but makes no progress for this long is marked
+	// stalled, flipping the engine into a counted Degraded state —
+	// AwaitQuiesceCtx waiters blocked behind the shard fail fast with
+	// ErrDegraded instead of hanging, and Stats reports the shard in
+	// DegradedWorkers until it moves again. 0 disables the watchdog
+	// (the zero-overhead default: no extra goroutine, no clock reads).
+	StallTimeout time.Duration
+
 	// FlowCacheEntries sizes each worker's exact-match flow cache (the
 	// fast path in front of hash-mode match resolution; see
 	// stage.FlowCache). 0 selects the default size, negative disables
@@ -191,6 +202,20 @@ type Engine struct {
 	mu      sync.Mutex // guards lifecycle state and control-op fan-out
 	closed  bool
 	scratch sync.Pool // *submitScratch
+
+	// cmdFault, when set, sentences every fanned-out reconfiguration
+	// command per shard (SetReconfigFault) — the lossy control wire
+	// the verified paths recover from.
+	cmdFault atomic.Pointer[faultinject.Injector]
+
+	// lastGood tracks, per tenant, the most recent module spec every
+	// shard is known to have applied completely — the rollback target
+	// when a verified load exhausts its retry budget. Guarded by mu.
+	lastGood map[uint16]*ModuleSpec
+
+	// watchStop stops the stall watchdog goroutine (nil when
+	// Config.StallTimeout is 0 and no watchdog runs).
+	watchStop chan struct{}
 
 	// traceCtr is the global frame ordinal behind TraceEvery sampling:
 	// one atomic add per submit call claims the batch's ordinal range,
@@ -233,11 +258,17 @@ func New(cfg Config) (*Engine, error) {
 		pool = NewPool()
 	}
 	e := &Engine{
-		cfg:     cfg,
-		tel:     newTelemetry(),
-		limiter: sched.NewRateLimiter(),
-		start:   time.Now(),
-		pool:    pool,
+		cfg:      cfg,
+		tel:      newTelemetry(),
+		limiter:  sched.NewRateLimiter(),
+		start:    time.Now(),
+		pool:     pool,
+		lastGood: make(map[uint16]*ModuleSpec),
+	}
+	for i := range cfg.Modules {
+		// Modules replayed at creation are complete on every shard by
+		// construction — the initial rollback targets.
+		e.lastGood[cfg.Modules[i].Config.ModuleID] = &cfg.Modules[i]
 	}
 	// Base retention: in-flight batches and submitter stashes. Each
 	// per-tenant ring a worker creates grows the limit by its depth
@@ -280,8 +311,23 @@ func New(cfg Config) (*Engine, error) {
 	for _, w := range e.workers {
 		go w.run()
 	}
+	if cfg.StallTimeout > 0 {
+		e.watchStop = make(chan struct{})
+		go e.watchdog(e.watchStop)
+	}
 	return e, nil
 }
+
+// SetReconfigFault installs (or, with nil, removes) a fault injector
+// on the control-plane fan-out: every reconfiguration command issued
+// to a shard is first sentenced by the injector, and a Drop or Corrupt
+// sentence means that shard never applies the command — the in-process
+// analogue of a reconfiguration packet lost on the wire. The verified
+// paths (ApplyVerified, LoadModuleVerified) detect and re-send such
+// losses; the unverified paths count them (Stats.CmdFaultsInjected)
+// and leave the shortfall to the caller, exactly like firing packets
+// down a lossy daisy chain without polling the counter.
+func (e *Engine) SetReconfigFault(inj *faultinject.Injector) { e.cmdFault.Store(inj) }
 
 // Workers returns the number of shards.
 func (e *Engine) Workers() int { return len(e.workers) }
@@ -551,6 +597,9 @@ func (e *Engine) Close() error {
 	}
 	e.closed = true
 	e.mu.Unlock()
+	if e.watchStop != nil {
+		close(e.watchStop)
+	}
 	for _, w := range e.workers {
 		w.close()
 	}
@@ -585,6 +634,16 @@ func (e *Engine) StatsInto(st *Stats) {
 	st.PoolHits = e.pool.hits.Load()
 	st.PoolMisses = e.pool.misses.Load()
 	st.BytesCopied = e.tel.bytesCopied.Load()
+	st.ReconfigRetries = e.tel.reconfigRetries.Load()
+	st.VerifyFailures = e.tel.verifyFailures.Load()
+	st.CmdFaultsInjected = e.tel.cmdFaults.Load()
+	st.DegradedEvents = e.tel.degradedEvents.Load()
+	st.DegradedWorkers = 0
+	for _, w := range e.workers {
+		if w.stalled.Load() {
+			st.DegradedWorkers++
+		}
+	}
 }
 
 // Pipeline exposes a worker shard's pipeline (for tests and advanced

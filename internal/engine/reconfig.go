@@ -26,6 +26,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -38,6 +39,14 @@ import (
 // ErrGenNotIssued is returned by AwaitQuiesce for a generation no
 // control operation has been tagged with yet.
 var ErrGenNotIssued = errors.New("engine: reconfiguration generation not issued")
+
+// ErrDegraded is returned by AwaitQuiesce/AwaitQuiesceCtx when the
+// awaited generation is blocked behind a shard the watchdog has marked
+// stalled: the generation will still apply if the shard ever moves
+// again (queued control operations are never lost), but the caller
+// gets an answer now instead of hanging on a stuck worker. Only
+// possible with Config.StallTimeout set.
+var ErrDegraded = errors.New("engine: degraded (stalled worker shard)")
 
 // opKind enumerates the shard-level control operations.
 type opKind uint8
@@ -77,6 +86,21 @@ type shardOp struct {
 	weight float64 // opEgressWeight: the new weight (0 clears)
 	cmd    reconfig.Command
 	spec   *ModuleSpec // opPartition (read-only, shared across shards)
+
+	// Verified-burst fields (verify.go). burst, when non-nil, makes
+	// this opApply part of a go-back-N verified burst: seq is the
+	// command's position in the burst, and the shard applies it only
+	// when it is the next in-order command (earlier = duplicate from a
+	// retry, later = a predecessor was lost; both are skipped), so the
+	// shard's burst progress is always a contiguous prefix length —
+	// the property that makes "re-send the missing suffix" correct.
+	burst *burstState
+	seq   uint32
+	// lost marks a command the fault injector sentenced to loss or
+	// corruption for this shard: the op still rides the queue (the
+	// generation must advance regardless), but the shard never sees
+	// the command and its delivered counter never increments.
+	lost bool
 }
 
 // control is the engine-wide reconfiguration state.
@@ -116,6 +140,28 @@ func (e *Engine) issue(build func(gen uint64) []shardOp) (uint64, error) {
 	return gen, nil
 }
 
+// issueEach is issue with a per-shard operation sequence: build runs
+// once per worker, so individual commands can meet different fates on
+// different shards — which is what a lossy per-replica delivery path
+// means. Used by the fault-injecting and verified fan-outs; the
+// lossless common case keeps the single shared slice of issue.
+func (e *Engine) issueEach(build func(gen uint64, wid int) []shardOp) (uint64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return 0, ErrClosed
+	}
+	gen := e.ctrl.tagger.Next()
+	for wid, w := range e.workers {
+		ops := build(gen, wid)
+		if len(ops) == 0 {
+			ops = []shardOp{{gen: gen, kind: opBarrier}}
+		}
+		w.enqueueOps(ops)
+	}
+	return gen, nil
+}
+
 // ApplyReconfig replays a daisy-chain command batch into every running
 // worker shard. It returns immediately with the operation's generation;
 // each shard applies the commands, in order and atomically with respect
@@ -125,6 +171,21 @@ func (e *Engine) issue(build func(gen uint64) []shardOp) (uint64, error) {
 // overtake them at the batch boundary); fence the tenant first if that
 // matters.
 func (e *Engine) ApplyReconfig(moduleID uint16, cmds ...reconfig.Command) (uint64, error) {
+	if inj := e.cmdFault.Load(); inj != nil {
+		// A fault plan is installed: fates differ per shard, so each
+		// worker gets its own operation slice with per-command
+		// sentences. Losses are counted, not recovered — this is the
+		// unverified path; use ApplyVerified to survive them.
+		return e.issueEach(func(gen uint64, wid int) []shardOp {
+			ops := make([]shardOp, 0, len(cmds))
+			for _, c := range cmds {
+				op := shardOp{gen: gen, kind: opApply, tenant: moduleID, cmd: c}
+				e.sentence(inj, &op)
+				ops = append(ops, op)
+			}
+			return ops
+		})
+	}
 	return e.issue(func(gen uint64) []shardOp {
 		ops := make([]shardOp, 0, len(cmds))
 		for _, c := range cmds {
@@ -159,6 +220,11 @@ func (e *Engine) ApplyReconfigFrame(frame []byte) (uint64, error) {
 // sequence at a batch boundary, so no frame of the module is ever
 // processed against a partial configuration; other tenants' frames keep
 // flowing throughout.
+//
+// LoadModuleLive assumes lossless delivery: with a fault plan installed
+// (SetReconfigFault) individual commands can be lost per shard and the
+// load lands torn — counted, not recovered. Use LoadModuleVerified on
+// a lossy control wire.
 func (e *Engine) LoadModuleLive(spec ModuleSpec) (uint64, error) {
 	cmds, err := spec.Config.Commands(spec.Placement)
 	if err != nil {
@@ -166,7 +232,21 @@ func (e *Engine) LoadModuleLive(spec ModuleSpec) (uint64, error) {
 	}
 	id := spec.Config.ModuleID
 	sp := &spec
-	return e.issue(func(gen uint64) []shardOp {
+	if inj := e.cmdFault.Load(); inj != nil {
+		return e.issueEach(func(gen uint64, wid int) []shardOp {
+			ops := make([]shardOp, 0, len(cmds)+3)
+			ops = append(ops,
+				shardOp{gen: gen, kind: opPause, tenant: id},
+				shardOp{gen: gen, kind: opPartition, tenant: id, spec: sp})
+			for _, c := range cmds {
+				op := shardOp{gen: gen, kind: opApply, tenant: id, cmd: c}
+				e.sentence(inj, &op)
+				ops = append(ops, op)
+			}
+			return append(ops, shardOp{gen: gen, kind: opResume, tenant: id})
+		})
+	}
+	gen, err := e.issue(func(gen uint64) []shardOp {
 		ops := make([]shardOp, 0, len(cmds)+3)
 		ops = append(ops,
 			shardOp{gen: gen, kind: opPause, tenant: id},
@@ -176,6 +256,12 @@ func (e *Engine) LoadModuleLive(spec ModuleSpec) (uint64, error) {
 		}
 		return append(ops, shardOp{gen: gen, kind: opResume, tenant: id})
 	})
+	if err == nil {
+		// Lossless delivery: once queued, every shard applies the full
+		// stream — record the spec as the module's rollback target.
+		e.setLastGood(id, sp)
+	}
+	return gen, err
 }
 
 // UnloadModuleLive clears a module from every running shard (tables,
@@ -197,6 +283,7 @@ func (e *Engine) UnloadModuleLive(moduleID uint16) (uint64, error) {
 	})
 	if err == nil {
 		e.limiter.ClearLimit(moduleID)
+		e.clearLastGood(moduleID)
 	}
 	return gen, err
 }
@@ -260,11 +347,20 @@ func (e *Engine) SetTenantUpdating(tenant uint16, updating bool) (uint64, error)
 // Quiesce issues an empty barrier operation and waits until every shard
 // has applied it (and therefore everything issued before it).
 func (e *Engine) Quiesce() error {
+	return e.QuiesceCtx(context.Background())
+}
+
+// QuiesceCtx is Quiesce with a deadline: it issues the barrier and
+// waits under the context, returning the context's error if it expires
+// first (the barrier still applies eventually — queued operations are
+// never lost) and ErrDegraded if the barrier is blocked behind a
+// stalled shard.
+func (e *Engine) QuiesceCtx(ctx context.Context) error {
 	gen, err := e.issue(func(gen uint64) []shardOp { return nil })
 	if err != nil {
 		return err
 	}
-	return e.AwaitQuiesce(gen)
+	return e.AwaitQuiesceCtx(ctx, gen)
 }
 
 // ReconfigGen returns the most recently issued generation.
@@ -278,19 +374,70 @@ func (e *Engine) ReconfigGen() uint64 { return e.ctrl.tagger.Current() }
 // Close always complete: workers drain their operation queues before
 // exiting).
 func (e *Engine) AwaitQuiesce(gen uint64) error {
+	return e.AwaitQuiesceCtx(context.Background(), gen)
+}
+
+// AwaitQuiesceCtx is AwaitQuiesce with a deadline: it additionally
+// returns the context's error as soon as ctx is done, and ErrDegraded
+// when the generation is blocked behind a shard the watchdog has
+// marked stalled (see Config.StallTimeout) — in both cases without
+// waiting out the stall. A generation abandoned this way still applies
+// if the blocking shard ever moves again: control operations are
+// queued, never lost.
+func (e *Engine) AwaitQuiesceCtx(ctx context.Context, gen uint64) error {
 	if gen > e.ctrl.tagger.Current() {
 		return fmt.Errorf("%w: %d (last issued %d)", ErrGenNotIssued, gen, e.ctrl.tagger.Current())
 	}
 	c := &e.ctrl
+	// Wake the cond when the context fires: Wait cannot select on a
+	// channel, so the cancellation is delivered as a broadcast and
+	// re-checked in the loop like every other wake condition.
+	stop := context.AfterFunc(ctx, func() {
+		c.qmu.Lock()
+		c.qcond.Broadcast()
+		c.qmu.Unlock()
+	})
+	defer stop()
 	c.qmu.Lock()
 	defer c.qmu.Unlock()
+	// A stalled flag alone is not grounds to bail: the shard may have
+	// just resumed, with the watchdog's clearing tick still pending. The
+	// waiter confirms the stall across one watchdog tick (the watchdog
+	// broadcasts every tick while any shard is flagged): only a shard
+	// still flagged with its progress counter frozen since the last wake
+	// is a confirmed stall.
+	stalledW, stalledP := -1, uint64(0)
 	for e.minAppliedGen() < gen {
 		if c.done {
 			return ErrClosed
 		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if w := e.stalledBehind(gen); w >= 0 {
+			p := e.workers[w].progress.Load()
+			if w == stalledW && p == stalledP {
+				return fmt.Errorf("%w: worker %d stalled before applying generation %d", ErrDegraded, w, gen)
+			}
+			stalledW, stalledP = w, p
+		} else {
+			stalledW = -1
+		}
 		c.qcond.Wait()
 	}
 	return nil
+}
+
+// stalledBehind returns the ID of a stalled worker whose applied
+// generation is still short of gen, or -1. Such a worker blocks the
+// barrier indefinitely, so waiters bail out with ErrDegraded.
+func (e *Engine) stalledBehind(gen uint64) int {
+	for _, w := range e.workers {
+		if w.stalled.Load() && w.genApplied.Load() < gen {
+			return w.id
+		}
+	}
+	return -1
 }
 
 // minAppliedGen is the slowest shard's applied generation.
@@ -339,6 +486,31 @@ func (w *worker) drainOpsLocked(ops []shardOp) {
 		var err error
 		switch op.kind {
 		case opApply:
+			if op.lost {
+				// Injected loss: the command never reached this shard.
+				// The generation still advances (the op rode the
+				// queue), but the delivered counter does not — the
+				// shortfall the verified paths poll for.
+				break
+			}
+			if b := op.burst; b != nil {
+				cur := b.progress[w.id].Load()
+				if op.seq != cur {
+					// Go-back-N: seq < cur is a duplicate from a retry
+					// burst (already applied — skip, idempotence by
+					// sequence number); seq > cur means a predecessor
+					// was lost and this command is discarded so the
+					// shard's progress stays a contiguous prefix.
+					break
+				}
+				w.cmdSeen.Add(1)
+				if err = w.pipe.Apply(op.cmd); err == nil {
+					w.stats.ReconfigApplied.Add(1)
+					b.progress[w.id].Store(cur + 1)
+				}
+				break
+			}
+			w.cmdSeen.Add(1)
 			if err = w.pipe.Apply(op.cmd); err == nil {
 				w.stats.ReconfigApplied.Add(1)
 			}

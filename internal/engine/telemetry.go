@@ -156,6 +156,15 @@ type telemetry struct {
 	// bytesCopied counts ingress bytes copied into pooled buffers by
 	// Submit/SubmitBatch; the owned (zero-copy) path never adds to it.
 	bytesCopied atomic.Uint64
+
+	// §4.1 reliability accounting (verify.go): retry bursts re-sent by
+	// the verified paths, verified loads that exhausted their retry
+	// budget, commands the injected fault plan lost or corrupted, and
+	// watchdog stall detections.
+	reconfigRetries atomic.Uint64
+	verifyFailures  atomic.Uint64
+	cmdFaults       atomic.Uint64
+	degradedEvents  atomic.Uint64
 }
 
 func newTelemetry() *telemetry {
@@ -255,6 +264,21 @@ type WorkerStats struct {
 	ReconfigApplied uint64
 	// ReconfigFailed counts this shard's failed control operations.
 	ReconfigFailed uint64
+	// ReconfigDelivered is the shard's §4.1 delivered-command counter —
+	// the per-replica mirror of reconfig.DaisyChain.Counter() that the
+	// verified reconfiguration paths poll: it counts commands that
+	// actually reached the shard (injected losses never increment it),
+	// so issued-minus-delivered is the loss the retry machinery
+	// re-sends.
+	ReconfigDelivered uint64
+	// Stalled reports whether the watchdog currently considers this
+	// shard stuck: pending work but no progress for at least
+	// Config.StallTimeout. Always false with the watchdog disabled.
+	Stalled bool
+	// SinceProgress is how long ago the watchdog last observed this
+	// shard make progress (zero with the watchdog disabled, and
+	// watchdog-interval granular otherwise).
+	SinceProgress time.Duration
 }
 
 // AvgBatch is the mean frames per batch.
@@ -299,6 +323,25 @@ type Stats struct {
 	// BytesCopied is the total ingress bytes copied by the non-owned
 	// submit paths (Submit/SubmitBatch/InjectBatch).
 	BytesCopied uint64
+
+	// Reliability accounting (§4.1 loss recovery and the watchdog).
+
+	// ReconfigRetries counts retry bursts the verified paths re-sent
+	// after a counter poll detected command loss.
+	ReconfigRetries uint64
+	// VerifyFailures counts verified loads that exhausted their retry
+	// budget (each returned a typed error wrapping ctrlplane.ErrVerify
+	// and rolled back to the last-known-good configuration).
+	VerifyFailures uint64
+	// CmdFaultsInjected counts reconfiguration commands the installed
+	// fault plan (SetReconfigFault) dropped or corrupted on fan-out.
+	CmdFaultsInjected uint64
+	// DegradedWorkers is the number of shards the watchdog currently
+	// considers stalled; the engine is degraded while it is non-zero.
+	DegradedWorkers int
+	// DegradedEvents counts stall detections since start (a shard that
+	// stalls, recovers, and stalls again counts twice).
+	DegradedEvents uint64
 }
 
 // PoolHitRate is the fraction of buffer requests served from the pool,
@@ -388,13 +431,18 @@ func (t *telemetry) snapshotInto(st *Stats, workers []*worker, uptime time.Durat
 	t.mu.RUnlock()
 	for _, w := range workers {
 		ws := WorkerStats{
-			Batches:         w.stats.Batches.Load(),
-			Frames:          w.stats.Frames.Load(),
-			BatchTarget:     int(w.batchTarget.Load()),
-			Sampled:         w.stats.Sampled.Load(),
-			ReconfigGen:     w.genApplied.Load(),
-			ReconfigApplied: w.stats.ReconfigApplied.Load(),
-			ReconfigFailed:  w.stats.ReconfigFailed.Load(),
+			Batches:           w.stats.Batches.Load(),
+			Frames:            w.stats.Frames.Load(),
+			BatchTarget:       int(w.batchTarget.Load()),
+			Sampled:           w.stats.Sampled.Load(),
+			ReconfigGen:       w.genApplied.Load(),
+			ReconfigApplied:   w.stats.ReconfigApplied.Load(),
+			ReconfigFailed:    w.stats.ReconfigFailed.Load(),
+			ReconfigDelivered: w.cmdSeen.Load(),
+			Stalled:           w.stalled.Load(),
+		}
+		if ns := w.lastProgressNano.Load(); ns > 0 {
+			ws.SinceProgress = time.Since(time.Unix(0, ns))
 		}
 		w.stats.latency.snapshotInto(&ws.Latency)
 		ws.Latency.SumNs = w.stats.BusyNs.Load()

@@ -72,6 +72,22 @@ type worker struct {
 	pausedPending int
 	genApplied    atomic.Uint64
 
+	// cmdSeen is the shard's §4.1 delivered-command counter — the
+	// per-replica mirror of reconfig.DaisyChain.Counter(): it counts
+	// reconfiguration commands that reached this shard (an injected
+	// loss never increments it), which is what the verified paths poll
+	// to detect shortfall.
+	cmdSeen atomic.Uint64
+
+	// Watchdog state (watchdog.go): progress is bumped by the worker
+	// loop at every service point (ops drained, batch completed,
+	// egress pass); the watchdog samples it, flags the shard stalled
+	// when it has pending work but the counter stops, and maintains
+	// lastProgressNano for WorkerStats.SinceProgress.
+	progress         atomic.Uint64
+	stalled          atomic.Bool
+	lastProgressNano atomic.Int64
+
 	// reusable batch scratch (worker goroutine only). aux holds each
 	// popped frame's packed out-of-band word; ports is the unpacked
 	// per-frame ingress, filled only when some aux word is nonzero.
@@ -220,6 +236,7 @@ func (w *worker) run() {
 			w.ops = nil
 			w.drainOpsLocked(ops)
 			w.mu.Unlock()
+			w.progress.Add(1)
 			w.eng.noteApplied(w, ops[len(ops)-1].gen)
 			continue
 		}
@@ -245,6 +262,7 @@ func (w *worker) run() {
 				w.mu.Lock()
 				w.egBacklog = w.egress.Len()
 				w.mu.Unlock()
+				w.progress.Add(1)
 				w.notFull.Broadcast()
 				continue
 			}
@@ -377,6 +395,7 @@ func (w *worker) run() {
 			w.egBacklog = w.egress.Len()
 		}
 		w.mu.Unlock()
+		w.progress.Add(1)
 		w.notFull.Broadcast() // wake Drain waiters
 	}
 }

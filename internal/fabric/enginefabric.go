@@ -10,12 +10,15 @@
 package fabric
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/faultinject"
 	"repro/internal/sysmod"
 )
 
@@ -57,6 +60,10 @@ type NodeConfig struct {
 	EgressQuantum int
 	// EgressQuantumBytes additionally caps delivered bytes per cycle.
 	EgressQuantumBytes int
+	// StallTimeout, when > 0, arms the node engine's per-worker stall
+	// watchdog (engine.Config.StallTimeout): a wedged shard degrades to
+	// a counted, reported state instead of hanging quiesce waiters.
+	StallTimeout time.Duration
 	// TraceEvery, when > 0, samples one in every TraceEvery frames
 	// *injected* at this node (engine.Config.TraceEvery): the sampled
 	// frame's out-of-band meta word gets engine.TraceBit, which rides
@@ -99,10 +106,18 @@ type EngineNode struct {
 	// node's worker goroutines concurrently, one scratch each.
 	scratch []fwdScratch
 
-	forwarded   atomic.Uint64 // frames accepted by a downstream ring
-	linkDropped atomic.Uint64 // frames shed at a full downstream ring
-	ttlDropped  atomic.Uint64 // frames dropped at the MaxHops bound
-	delivered   atomic.Uint64 // frames handed to the Deliver sink
+	// fault holds the per-link injectors installed by FaultLink,
+	// indexed like link by egress port; faultPorts lists the faulted
+	// ports for Stats and drain-time flushes. Both are frozen at Start
+	// and read lock-free from worker goroutines.
+	fault      [256]*faultinject.Injector
+	faultPorts []uint8
+
+	forwarded    atomic.Uint64 // frames accepted by a downstream ring
+	linkDropped  atomic.Uint64 // frames shed at a full downstream ring
+	ttlDropped   atomic.Uint64 // frames dropped at the MaxHops bound
+	delivered    atomic.Uint64 // frames handed to the Deliver sink
+	faultDropped atomic.Uint64 // frames consumed by link fault injectors
 }
 
 // fwdScratch accumulates one worker's cross-node hand-offs for a batch
@@ -113,10 +128,14 @@ type fwdScratch struct {
 	runs []fwdRun
 }
 
-// fwdRun is the accumulated hand-off for one directed link.
+// fwdRun is the accumulated hand-off for one directed link. fault is
+// the link's injector (nil on healthy links); it keys the run along
+// with (to, ingress) so two egress ports sharing a destination but not
+// a fault plan never merge.
 type fwdRun struct {
 	to      *EngineNode
 	ingress uint8
+	fault   *faultinject.Injector
 	bufs    [][]byte
 	metas   []uint64
 }
@@ -207,6 +226,37 @@ func (f *EngineFabric) Link(from string, egress uint8, to string, ingress uint8)
 	return nil
 }
 
+// FaultLink installs a deterministic fault plan on the directed link
+// (from, egress): every frame handed across the link draws its fate
+// from the plan — dropped, corrupted (one flipped bit, so the
+// downstream packet filter sees real damage), delayed to a later
+// flush, or reordered within its batch. The injection point is the
+// hand-off boundary, after the upstream pipeline and before the
+// downstream ring — exactly where a faulty cable would sit. The link
+// must already exist; install before Start (the injector array is read
+// lock-free by worker goroutines afterwards). The returned injector
+// exposes its running Counts for conservation assertions.
+func (f *EngineFabric) FaultLink(from string, egress uint8, plan faultinject.Plan) (*faultinject.Injector, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.started {
+		return nil, ErrStarted
+	}
+	n, ok := f.nodes[from]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDevice, from)
+	}
+	if _, ok := f.topo.next(from, egress); !ok {
+		return nil, fmt.Errorf("fabric: no link at %s egress %d", from, egress)
+	}
+	if n.fault[egress] == nil {
+		n.faultPorts = append(n.faultPorts, egress)
+	}
+	inj := faultinject.New(plan)
+	n.fault[egress] = inj
+	return inj, nil
+}
+
 // Node returns a registered node.
 func (f *EngineFabric) Node(name string) (*EngineNode, error) {
 	n, ok := f.nodes[name]
@@ -274,6 +324,7 @@ func (f *EngineFabric) Start() error {
 			EgressQueueLimit:   n.cfg.EgressQueueLimit,
 			EgressQuantum:      n.cfg.EgressQuantum,
 			EgressQuantumBytes: n.cfg.EgressQuantumBytes,
+			StallTimeout:       n.cfg.StallTimeout,
 			TraceEvery:         n.cfg.TraceEvery,
 			OnTrace:            traceHook,
 			Pool:               f.pool,
@@ -314,17 +365,30 @@ func (n *EngineNode) onBatch(wid int, tenant uint16, res []core.BatchResult) {
 		}
 		n.classify(sc, r, tenant, r.EgressPort, r.Meta)
 	}
-	// Flush the accumulated hand-offs, one ForwardBatch per link.
+	// Flush the accumulated hand-offs, one ForwardBatch per link. A
+	// faulted link's batch passes through its injector first: dropped
+	// frames go straight back to the shared pool, delayed ones are held
+	// for a later flush, and what survives (plus any previously held
+	// frames) crosses as usual.
 	for ri := range sc.runs {
 		run := &sc.runs[ri]
 		if len(run.bufs) == 0 {
 			continue
 		}
-		acc, _ := run.to.Eng.ForwardBatch(run.bufs, run.ingress, run.metas)
+		bufs, metas := run.bufs, run.metas
+		if run.fault != nil {
+			before := run.fault.Counts().Dropped
+			bufs, metas = run.fault.ApplyBatch(bufs, metas, n.Eng.Release)
+			n.faultDropped.Add(run.fault.Counts().Dropped - before)
+		}
+		acc, _ := run.to.Eng.ForwardBatch(bufs, run.ingress, metas)
 		// On error (engine closed) acc is 0 and the buffers were
 		// reclaimed into the shared pool either way.
 		n.forwarded.Add(uint64(acc))
-		n.linkDropped.Add(uint64(len(run.bufs) - acc))
+		n.linkDropped.Add(uint64(len(bufs) - acc))
+		// ApplyBatch compacts in place but may grow the backing array
+		// when held frames rejoin; keep the grown capacity.
+		run.bufs, run.metas = bufs, metas
 		clear(run.bufs)
 		run.bufs = run.bufs[:0]
 		run.metas = run.metas[:0]
@@ -363,7 +427,7 @@ func (n *EngineNode) classify(sc *fwdScratch, r *core.BatchResult, tenant uint16
 	}
 	buf := r.Data
 	r.Data = nil // ownership-take: the engine must not reclaim it
-	sc.add(to, n.linkIngress[port], buf, meta&^metaHopMask|uint64(hops+1))
+	sc.add(to, n.linkIngress[port], n.fault[port], buf, meta&^metaHopMask|uint64(hops+1))
 }
 
 // replicate fans one frame out to a multicast group's member ports:
@@ -397,16 +461,16 @@ func (n *EngineNode) replicate(sc *fwdScratch, r *core.BatchResult, tenant uint1
 			buf = to.Eng.Borrow(len(data))
 			copy(buf, data)
 		}
-		sc.add(to, n.linkIngress[port], buf, meta&^metaHopMask|uint64(hops+1))
+		sc.add(to, n.linkIngress[port], n.fault[port], buf, meta&^metaHopMask|uint64(hops+1))
 	}
 }
 
 // add appends one owned buffer to the scratch run for a link, creating
 // the run on first use (the only allocation, amortized to zero).
-func (sc *fwdScratch) add(to *EngineNode, ingress uint8, buf []byte, meta uint64) {
+func (sc *fwdScratch) add(to *EngineNode, ingress uint8, fault *faultinject.Injector, buf []byte, meta uint64) {
 	for i := range sc.runs {
 		run := &sc.runs[i]
-		if run.to == to && run.ingress == ingress {
+		if run.to == to && run.ingress == ingress && run.fault == fault {
 			run.bufs = append(run.bufs, buf)
 			run.metas = append(run.metas, meta)
 			return
@@ -415,6 +479,7 @@ func (sc *fwdScratch) add(to *EngineNode, ingress uint8, buf []byte, meta uint64
 	sc.runs = append(sc.runs, fwdRun{
 		to:      to,
 		ingress: ingress,
+		fault:   fault,
 		bufs:    [][]byte{buf},
 		metas:   []uint64{meta},
 	})
@@ -458,6 +523,13 @@ func (f *EngineFabric) Drain() {
 		for _, n := range f.order {
 			n.Eng.Drain()
 		}
+		// Frames a link injector is still delaying would otherwise
+		// escape the quiescence check (they are in no ring and no
+		// pipeline); push them across their links now and, if any
+		// moved, run another pass for them.
+		if f.flushDelayed() > 0 {
+			continue
+		}
 		// A pass that triggered no OnBatch anywhere moved no frames
 		// across links, so every node drained earlier in the pass is
 		// still empty: the fabric is quiescent. The TTL bound caps how
@@ -468,12 +540,43 @@ func (f *EngineFabric) Drain() {
 	}
 }
 
+// flushDelayed forwards every frame still held by a link fault
+// injector to its downstream node, returning how many frames moved.
+// Held frames have already drawn their fate (delay) — they are not
+// re-judged on the way out.
+func (f *EngineFabric) flushDelayed() int {
+	moved := 0
+	for _, n := range f.order {
+		for _, port := range n.faultPorts {
+			bufs, metas := n.fault[port].TakeHeld()
+			if len(bufs) == 0 {
+				continue
+			}
+			to := n.link[port]
+			acc, _ := to.Eng.ForwardBatch(bufs, n.linkIngress[port], metas)
+			n.forwarded.Add(uint64(acc))
+			n.linkDropped.Add(uint64(len(bufs) - acc))
+			moved += len(bufs)
+		}
+	}
+	return moved
+}
+
 // Quiesce waits until every node's engine has applied every control
 // operation issued so far — the fabric-wide reconfiguration barrier.
 func (f *EngineFabric) Quiesce() error {
+	return f.QuiesceCtx(context.Background())
+}
+
+// QuiesceCtx is Quiesce bounded by a context: it stops early with the
+// context's error once ctx is done, or with an engine.ErrDegraded-
+// wrapped error when some node's stall watchdog has flagged a shard
+// the barrier would wait on forever. The error names the blocking
+// node; operations already issued still apply if the shard recovers.
+func (f *EngineFabric) QuiesceCtx(ctx context.Context) error {
 	for _, n := range f.order {
-		if err := n.Eng.Quiesce(); err != nil {
-			return err
+		if err := n.Eng.QuiesceCtx(ctx); err != nil {
+			return fmt.Errorf("fabric: node %s: %w", n.Name, err)
 		}
 	}
 	return nil
@@ -516,15 +619,24 @@ type NodeStats struct {
 	// Delivered counts frames that reached this node's host-terminal
 	// ports.
 	Delivered uint64
+	// FaultDropped counts frames consumed by this node's link fault
+	// injectors (FaultLink) — chaos-induced loss, kept separate from
+	// the backpressure counter so conservation still balances under
+	// injection.
+	FaultDropped uint64
+	// LinkFaults tallies each faulted egress port's injector: what it
+	// saw, dropped, corrupted, delayed, and reordered. Only ports with
+	// a FaultLink plan appear; nil when the node has none.
+	LinkFaults map[uint8]faultinject.Counts
 }
 
 // FabricStats aggregates the whole fabric's telemetry.
 type FabricStats struct {
 	// Nodes maps node name to its per-node stats.
 	Nodes map[string]NodeStats
-	// Forwarded, LinkDropped, TTLDropped, and Delivered sum the
-	// per-node counters of the same names.
-	Forwarded, LinkDropped, TTLDropped, Delivered uint64
+	// Forwarded, LinkDropped, TTLDropped, Delivered, and FaultDropped
+	// sum the per-node counters of the same names.
+	Forwarded, LinkDropped, TTLDropped, Delivered, FaultDropped uint64
 }
 
 // Stats snapshots every node's engine telemetry plus the fabric's
@@ -533,10 +645,17 @@ func (f *EngineFabric) Stats() FabricStats {
 	st := FabricStats{Nodes: make(map[string]NodeStats, len(f.order))}
 	for _, n := range f.order {
 		ns := NodeStats{
-			Forwarded:   n.forwarded.Load(),
-			LinkDropped: n.linkDropped.Load(),
-			TTLDropped:  n.ttlDropped.Load(),
-			Delivered:   n.delivered.Load(),
+			Forwarded:    n.forwarded.Load(),
+			LinkDropped:  n.linkDropped.Load(),
+			TTLDropped:   n.ttlDropped.Load(),
+			Delivered:    n.delivered.Load(),
+			FaultDropped: n.faultDropped.Load(),
+		}
+		if len(n.faultPorts) > 0 {
+			ns.LinkFaults = make(map[uint8]faultinject.Counts, len(n.faultPorts))
+			for _, port := range n.faultPorts {
+				ns.LinkFaults[port] = n.fault[port].Counts()
+			}
 		}
 		if n.Eng != nil {
 			ns.Engine = n.Eng.Stats()
@@ -546,6 +665,7 @@ func (f *EngineFabric) Stats() FabricStats {
 		st.LinkDropped += ns.LinkDropped
 		st.TTLDropped += ns.TTLDropped
 		st.Delivered += ns.Delivered
+		st.FaultDropped += ns.FaultDropped
 	}
 	return st
 }

@@ -1,0 +1,33 @@
+// Package faultinject models lossy channels for the two places bytes
+// cross a boundary in this reproduction: fabric links (frames handed
+// between engines via ForwardBatch) and the reconfiguration delivery
+// path (daisy-chain commands fanned out to worker shards). Menshen's
+// §4.1 secure reconfiguration is explicitly a loss-recovery protocol —
+// counter poll, detect shortfall, re-send — so the control plane needs
+// a wire that can actually lose things to recover from; the same plan
+// machinery gives the fabric chaos harness its link flaps and stuck-at
+// windows.
+//
+// A Plan is a declarative, seedable description of the faults: per-item
+// drop/corrupt/delay/reorder probabilities, stuck-at windows (every
+// item in a sequence-number range is dropped), and a periodic link-flap
+// schedule. An Injector is the running instance: it draws every fate
+// from a private splitmix64 stream seeded by Plan.Seed, so two
+// injectors built from the same plan make identical decisions — chaos
+// runs replay exactly, and a test failure reproduces from its seed.
+//
+// Two consumption shapes match the two boundaries:
+//
+//   - ApplyBatch filters one batch of owned frame buffers in place
+//     (drop reclaims via the caller's release func, corrupt flips a
+//     byte, delay holds the frame for a later batch, reorder permutes
+//     the survivors) — applied by a fabric node inside the
+//     ForwardBatch hand-off.
+//   - CommandFate sentences one reconfiguration command to Deliver,
+//     Drop, or Corrupt — consulted by the engine's control-plane
+//     fan-out, per shard, per command.
+//
+// Counters (Counts) record everything injected, so chaos scenarios can
+// assert conservation: every frame is delivered, counted as a drop
+// somewhere, or still held — never silently vanished.
+package faultinject

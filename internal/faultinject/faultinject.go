@@ -1,0 +1,260 @@
+// Plan, Injector, and the deterministic fate machinery. See doc.go for
+// the package contract.
+package faultinject
+
+import "sync"
+
+// Window is a half-open range [From, To) of item sequence numbers
+// (frames or commands, counted from 0 in injection order) during which
+// every item is dropped — a stuck-at fault: the link or delivery path
+// is dead for the whole window, not probabilistically lossy.
+type Window struct {
+	// From is the first sequence number inside the window.
+	From uint64
+	// To is the first sequence number past the window.
+	To uint64
+}
+
+// Flap is a periodic link-flap schedule: within every Period
+// consecutive items, the last Down are dropped (the link is "down").
+// A Plan with Flap{Period: 100, Down: 20} models a link that is up 80%
+// of the time in bursts, which exercises recovery very differently
+// from a uniform 20% drop probability.
+type Flap struct {
+	// Period is the schedule's cycle length in items; zero disables
+	// the flap.
+	Period uint64
+	// Down is how many items at the end of each cycle are dropped.
+	Down uint64
+}
+
+// Plan is a declarative, seedable fault description. The zero value
+// injects nothing. Probabilities are per item in [0, 1] and evaluated
+// in order drop, corrupt, delay — at most one of the three fates per
+// item — while Reorder is drawn independently per surviving frame
+// (ApplyBatch only). StuckAt windows and the Flap schedule are
+// deterministic functions of the item sequence number and override the
+// probabilistic fates.
+type Plan struct {
+	// Seed seeds the injector's private PRNG stream; two injectors
+	// with identical plans make identical decisions.
+	Seed uint64
+	// Drop is the per-item probability of silent loss.
+	Drop float64
+	// Corrupt is the per-item probability of byte corruption. A
+	// corrupted frame keeps flowing with a flipped byte (data-path
+	// corruption is the downstream pipeline's problem); a corrupted
+	// command is discarded by the shard's integrity check, which makes
+	// it indistinguishable from loss to the §4.1 counter poll — which
+	// is exactly how it gets recovered.
+	Corrupt float64
+	// Delay is the per-frame probability of holding the frame and
+	// releasing it with a later batch (quantized to hand-off batches;
+	// commands are never delayed, only dropped or corrupted).
+	Delay float64
+	// Reorder is the per-frame probability of swapping a surviving
+	// frame with a random earlier survivor in its batch.
+	Reorder float64
+	// StuckAt lists sequence windows during which everything drops.
+	StuckAt []Window
+	// Flap, when Period > 0, drops items on a periodic down schedule.
+	Flap Flap
+}
+
+// Fate is the sentence CommandFate passes on one item.
+type Fate uint8
+
+const (
+	// Deliver lets the item through untouched.
+	Deliver Fate = iota
+	// Drop loses the item silently.
+	Drop
+	// Corrupt flips bytes in the item. For commands this is
+	// detected-and-discarded at the shard (see Plan.Corrupt).
+	Corrupt
+)
+
+// Counts is a snapshot of everything an Injector has done. Seen covers
+// every item offered; Dropped, Corrupted, Delayed, and Reordered count
+// injected faults (Dropped includes stuck-at and flap losses); Held is
+// the number of delayed frames currently waiting for release.
+type Counts struct {
+	// Seen counts items offered to the injector.
+	Seen uint64
+	// Dropped counts items lost (probabilistic, stuck-at, and flap).
+	Dropped uint64
+	// Corrupted counts items with injected byte corruption.
+	Corrupted uint64
+	// Delayed counts frames held for a later batch.
+	Delayed uint64
+	// Reordered counts frames swapped out of order.
+	Reordered uint64
+	// Held is the current number of delayed frames not yet released.
+	Held uint64
+}
+
+// Injector executes one Plan over a stream of items. All methods are
+// safe for concurrent use (fabric links are crossed by several worker
+// goroutines); determinism is per injector — fates depend only on the
+// plan and the order items arrive.
+type Injector struct {
+	mu     sync.Mutex
+	plan   Plan
+	rng    uint64
+	seq    uint64 // items sentenced so far
+	counts Counts
+
+	// Delayed frames, held until the next ApplyBatch (or TakeHeld).
+	heldBufs  [][]byte
+	heldMetas []uint64
+}
+
+// New builds an Injector executing the given plan.
+func New(plan Plan) *Injector {
+	return &Injector{plan: plan, rng: plan.Seed + 0x9e3779b97f4a7c15}
+}
+
+// Plan returns the injector's plan.
+func (j *Injector) Plan() Plan { return j.plan }
+
+// Counts snapshots the injector's fault counters.
+func (j *Injector) Counts() Counts {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	c := j.counts
+	c.Held = uint64(len(j.heldBufs))
+	return c
+}
+
+// next is a splitmix64 step: a full-period 2^64 stream with good
+// avalanche, deterministic from the seed — no global rand state.
+func (j *Injector) next() uint64 {
+	j.rng += 0x9e3779b97f4a7c15
+	z := j.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// unit draws a uniform float64 in [0, 1).
+func (j *Injector) unit() float64 {
+	return float64(j.next()>>11) / (1 << 53)
+}
+
+// down reports whether a stuck-at window or the flap schedule has the
+// channel down for sequence number seq.
+func (p *Plan) down(seq uint64) bool {
+	for _, w := range p.StuckAt {
+		if seq >= w.From && seq < w.To {
+			return true
+		}
+	}
+	if f := p.Flap; f.Period > 0 && seq%f.Period >= f.Period-f.Down {
+		return true
+	}
+	return false
+}
+
+// fateLocked sentences the next item; the caller holds j.mu.
+func (j *Injector) fateLocked() Fate {
+	seq := j.seq
+	j.seq++
+	j.counts.Seen++
+	if j.plan.down(seq) {
+		j.counts.Dropped++
+		return Drop
+	}
+	// One draw, cumulative thresholds: at most one fate per item, and
+	// the stream advances exactly once whatever the probabilities are.
+	r := j.unit()
+	if r < j.plan.Drop {
+		j.counts.Dropped++
+		return Drop
+	}
+	if r < j.plan.Drop+j.plan.Corrupt {
+		j.counts.Corrupted++
+		return Corrupt
+	}
+	return Deliver
+}
+
+// CommandFate sentences one reconfiguration command: Deliver, Drop, or
+// Corrupt. Commands are never delayed or reordered — the engine's
+// control queues are ordered, so the only wire faults that survive the
+// model are loss and (detected) corruption.
+func (j *Injector) CommandFate() Fate {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.fateLocked()
+}
+
+// ApplyBatch runs the plan over one batch of owned frame buffers, in
+// order. Dropped frames are handed to release (reclaim the buffer
+// there) and removed; corrupted frames get one byte flipped in place
+// and flow on; delayed frames are held inside the injector and
+// appended to a later batch (or surrendered by TakeHeld); surviving
+// frames may be swapped by the reorder probability. The returned
+// slices reuse the callers' backing arrays (possibly grown by released
+// held frames) — use them in place of bufs/metas. metas may be nil
+// when the caller carries no out-of-band words.
+func (j *Injector) ApplyBatch(bufs [][]byte, metas []uint64, release func([]byte)) ([][]byte, []uint64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	// Frames delayed by earlier batches go out with this one; frames
+	// delayed by this batch go out with a later one.
+	prevBufs, prevMetas := j.heldBufs, j.heldMetas
+	j.heldBufs, j.heldMetas = nil, nil
+
+	out := bufs[:0]
+	outM := metas[:0]
+	for i := range bufs {
+		var meta uint64
+		if metas != nil {
+			meta = metas[i]
+		}
+		switch j.fateLocked() {
+		case Drop:
+			release(bufs[i])
+			continue
+		case Corrupt:
+			if b := bufs[i]; len(b) > 0 {
+				b[j.next()%uint64(len(b))] ^= 1 << (j.next() % 8)
+			}
+		}
+		if j.plan.Delay > 0 && j.unit() < j.plan.Delay {
+			j.counts.Delayed++
+			j.heldBufs = append(j.heldBufs, bufs[i])
+			j.heldMetas = append(j.heldMetas, meta)
+			continue
+		}
+		out = append(out, bufs[i])
+		outM = append(outM, meta)
+	}
+	for i := range prevBufs {
+		out = append(out, prevBufs[i])
+		outM = append(outM, prevMetas[i])
+	}
+	if j.plan.Reorder > 0 {
+		for i := 1; i < len(out); i++ {
+			if j.unit() < j.plan.Reorder {
+				k := int(j.next() % uint64(i+1))
+				out[i], out[k] = out[k], out[i]
+				outM[i], outM[k] = outM[k], outM[i]
+				j.counts.Reordered++
+			}
+		}
+	}
+	return out, outM
+}
+
+// TakeHeld surrenders the delayed frames accumulated so far (with
+// their out-of-band words) and clears the hold queue. A fabric drain
+// calls it so delayed frames reach their destination — or a counted
+// drop — instead of dangling in the injector when traffic stops.
+func (j *Injector) TakeHeld() ([][]byte, []uint64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	bufs, metas := j.heldBufs, j.heldMetas
+	j.heldBufs, j.heldMetas = nil, nil
+	return bufs, metas
+}

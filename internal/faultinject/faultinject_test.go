@@ -1,0 +1,193 @@
+package faultinject
+
+import (
+	"bytes"
+	"testing"
+)
+
+func frames(n, size int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		b := make([]byte, size)
+		for k := range b {
+			b[k] = byte(i)
+		}
+		out[i] = b
+	}
+	return out
+}
+
+// Two injectors with the same plan must sentence an identical stream
+// identically — chaos runs replay from their seed.
+func TestCommandFateDeterministic(t *testing.T) {
+	plan := Plan{Seed: 7, Drop: 0.2, Corrupt: 0.1}
+	a, b := New(plan), New(plan)
+	for i := 0; i < 10000; i++ {
+		if fa, fb := a.CommandFate(), b.CommandFate(); fa != fb {
+			t.Fatalf("item %d: fates diverge: %v vs %v", i, fa, fb)
+		}
+	}
+	if a.Counts() != b.Counts() {
+		t.Fatalf("counts diverge: %+v vs %+v", a.Counts(), b.Counts())
+	}
+}
+
+// Fate rates must track the plan's probabilities (law of large
+// numbers; generous tolerance to stay seed-robust).
+func TestCommandFateRates(t *testing.T) {
+	j := New(Plan{Seed: 42, Drop: 0.3, Corrupt: 0.1})
+	const n = 50000
+	for i := 0; i < n; i++ {
+		j.CommandFate()
+	}
+	c := j.Counts()
+	if c.Seen != n {
+		t.Fatalf("seen = %d, want %d", c.Seen, n)
+	}
+	if got := float64(c.Dropped) / n; got < 0.27 || got > 0.33 {
+		t.Errorf("drop rate = %.3f, want ~0.30", got)
+	}
+	if got := float64(c.Corrupted) / n; got < 0.08 || got > 0.12 {
+		t.Errorf("corrupt rate = %.3f, want ~0.10", got)
+	}
+}
+
+// A stuck-at window drops every item inside it and nothing outside.
+func TestStuckAtWindow(t *testing.T) {
+	j := New(Plan{Seed: 1, StuckAt: []Window{{From: 10, To: 20}}})
+	for i := 0; i < 30; i++ {
+		fate := j.CommandFate()
+		inWindow := i >= 10 && i < 20
+		if inWindow && fate != Drop {
+			t.Errorf("item %d: fate %v inside stuck-at window", i, fate)
+		}
+		if !inWindow && fate != Deliver {
+			t.Errorf("item %d: fate %v outside stuck-at window", i, fate)
+		}
+	}
+	if c := j.Counts(); c.Dropped != 10 {
+		t.Errorf("dropped = %d, want 10", c.Dropped)
+	}
+}
+
+// The flap schedule drops the last Down items of every Period.
+func TestFlapSchedule(t *testing.T) {
+	j := New(Plan{Seed: 1, Flap: Flap{Period: 10, Down: 3}})
+	for i := 0; i < 40; i++ {
+		fate := j.CommandFate()
+		down := i%10 >= 7
+		if down && fate != Drop {
+			t.Errorf("item %d: fate %v during flap-down", i, fate)
+		}
+		if !down && fate != Deliver {
+			t.Errorf("item %d: fate %v during flap-up", i, fate)
+		}
+	}
+}
+
+// ApplyBatch: drops go to the release func, survivors keep their
+// buffers, and Seen/Dropped account for every frame.
+func TestApplyBatchDrops(t *testing.T) {
+	j := New(Plan{Seed: 3, Drop: 1})
+	in := frames(8, 16)
+	released := 0
+	out, _ := j.ApplyBatch(in, make([]uint64, 8), func([]byte) { released++ })
+	if len(out) != 0 || released != 8 {
+		t.Fatalf("kept %d released %d, want 0/8", len(out), released)
+	}
+	if c := j.Counts(); c.Seen != 8 || c.Dropped != 8 {
+		t.Errorf("counts = %+v", c)
+	}
+}
+
+// Corruption flips bytes in place without dropping the frame.
+func TestApplyBatchCorrupts(t *testing.T) {
+	j := New(Plan{Seed: 3, Corrupt: 1})
+	in := frames(4, 32)
+	want := frames(4, 32)
+	out, _ := j.ApplyBatch(in, make([]uint64, 4), func([]byte) { t.Fatal("unexpected release") })
+	if len(out) != 4 {
+		t.Fatalf("kept %d, want 4", len(out))
+	}
+	changed := 0
+	for i := range out {
+		if !bytes.Equal(out[i], want[i]) {
+			changed++
+		}
+	}
+	if changed != 4 {
+		t.Errorf("corrupted %d of 4 frames", changed)
+	}
+}
+
+// Delayed frames are held out of their batch and released with the
+// next one, metas riding along.
+func TestApplyBatchDelayReleasesNextBatch(t *testing.T) {
+	j := New(Plan{Seed: 5, Delay: 1})
+	out, _ := j.ApplyBatch(frames(3, 8), []uint64{1, 2, 3}, nil)
+	if len(out) != 0 {
+		t.Fatalf("first batch kept %d, want 0 (all delayed)", len(out))
+	}
+	if c := j.Counts(); c.Held != 3 || c.Delayed != 3 {
+		t.Fatalf("counts after delay = %+v", c)
+	}
+	// Second batch: its own frames are delayed again, but the first
+	// batch's frames are released.
+	out, metas := j.ApplyBatch(frames(2, 8), []uint64{4, 5}, nil)
+	if len(out) != 3 {
+		t.Fatalf("second batch released %d, want 3", len(out))
+	}
+	if metas[0] != 1 || metas[1] != 2 || metas[2] != 3 {
+		t.Errorf("released metas = %v, want [1 2 3]", metas)
+	}
+	held, heldMetas := j.TakeHeld()
+	if len(held) != 2 || heldMetas[0] != 4 || heldMetas[1] != 5 {
+		t.Errorf("TakeHeld = %d frames, metas %v", len(held), heldMetas)
+	}
+	if c := j.Counts(); c.Held != 0 {
+		t.Errorf("held = %d after TakeHeld", c.Held)
+	}
+}
+
+// Reorder permutes survivors but loses nothing.
+func TestApplyBatchReorder(t *testing.T) {
+	j := New(Plan{Seed: 9, Reorder: 1})
+	in := frames(16, 4)
+	out, _ := j.ApplyBatch(in, make([]uint64, 16), nil)
+	if len(out) != 16 {
+		t.Fatalf("kept %d, want 16", len(out))
+	}
+	moved := 0
+	for i := range out {
+		if out[i][0] != byte(i) {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Error("reorder probability 1 moved nothing")
+	}
+	if c := j.Counts(); c.Reordered == 0 {
+		t.Error("reordered count = 0")
+	}
+}
+
+// The zero plan is a perfect wire.
+func TestZeroPlanIsLossless(t *testing.T) {
+	j := New(Plan{})
+	in := frames(32, 8)
+	want := frames(32, 8)
+	out, _ := j.ApplyBatch(in, make([]uint64, 32), func([]byte) { t.Fatal("release on zero plan") })
+	if len(out) != 32 {
+		t.Fatalf("kept %d, want 32", len(out))
+	}
+	for i := range out {
+		if !bytes.Equal(out[i], want[i]) {
+			t.Fatalf("frame %d mutated", i)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		if j.CommandFate() != Deliver {
+			t.Fatal("zero plan sentenced a command")
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"repro/internal/engine"
+	"repro/internal/faultinject"
 )
 
 // Source is one engine an Exporter scrapes: its alloc-free snapshot
@@ -24,6 +25,10 @@ type Source struct {
 	// StatsInto fills a reused snapshot; wire Engine.StatsInto (or
 	// the facade's) here.
 	StatsInto func(*engine.Stats)
+	// LinkFaults, when non-nil, supplies the node's per-egress-link
+	// fault-injector tallies (fabric.FaultLink installs them) for the
+	// menshen_link_* families; nil omits those series for this node.
+	LinkFaults func() map[uint8]faultinject.Counts
 }
 
 // NodeStats is one node's rendered input to WriteMetrics: a snapshot
@@ -38,6 +43,10 @@ type NodeStats struct {
 	// scrape, parallel to Stats.Workers; nil skips the windowed
 	// quantile gauges.
 	Window []engine.LatencyHistogram
+	// LinkFaults maps egress-port → fault-injector tallies for links
+	// under a fault plan; nil or empty skips the menshen_link_*
+	// families for this node.
+	LinkFaults map[uint8]faultinject.Counts
 }
 
 // Exporter renders one or more engines' telemetry in Prometheus text
@@ -92,6 +101,9 @@ func (e *Exporter) Collect(w io.Writer) error {
 			e.prev[i][wi] = *cur
 		}
 		e.nodes[i] = NodeStats{Node: e.sources[i].Node, Stats: &e.st[i], Window: e.win[i]}
+		if lf := e.sources[i].LinkFaults; lf != nil {
+			e.nodes[i].LinkFaults = lf()
+		}
 	}
 	e.buf = appendMetrics(e.buf[:0], e.nodes, &e.scratch)
 	_, err := w.Write(e.buf)
@@ -260,6 +272,16 @@ var engineScalars = []engineScalar{
 		func(st *engine.Stats, sb *seriesBuf) { sb.valFloat(st.PoolHitRate()) }},
 	{"menshen_ingress_copied_bytes_total", "Ingress bytes copied by the non-owned submit paths.", "counter",
 		func(st *engine.Stats, sb *seriesBuf) { sb.valUint(st.BytesCopied) }},
+	{"menshen_reconfig_retries_total", "Verified-reconfiguration retry bursts (suffix re-sends after a counter mismatch).", "counter",
+		func(st *engine.Stats, sb *seriesBuf) { sb.valUint(st.ReconfigRetries) }},
+	{"menshen_reconfig_verify_failures_total", "Verified reconfigurations that exhausted their retry budget and rolled back.", "counter",
+		func(st *engine.Stats, sb *seriesBuf) { sb.valUint(st.VerifyFailures) }},
+	{"menshen_fault_injected_total", "Reconfiguration commands consumed (dropped or corrupted) by the installed fault plan.", "counter",
+		func(st *engine.Stats, sb *seriesBuf) { sb.valUint(st.CmdFaultsInjected) }},
+	{"menshen_degraded_workers", "Shards currently flagged stalled by the watchdog.", "gauge",
+		func(st *engine.Stats, sb *seriesBuf) { sb.valUint(uint64(st.DegradedWorkers)) }},
+	{"menshen_degraded_events_total", "Times the watchdog flagged a shard as stalled.", "counter",
+		func(st *engine.Stats, sb *seriesBuf) { sb.valUint(st.DegradedEvents) }},
 }
 
 // tenantScalar is one per-tenant family.
@@ -292,7 +314,9 @@ var tenantScalars = []tenantScalar{
 	{"menshen_tenant_egress_bytes_total", "Bytes transmitted in weighted fair order.", "counter",
 		func(_ *engine.Stats, _ uint16, ts engine.TenantStats, sb *seriesBuf) { sb.valUint(ts.EgressBytes) }},
 	{"menshen_tenant_egress_share", "Achieved share of delivered egress bytes, in [0,1].", "gauge",
-		func(st *engine.Stats, id uint16, _ engine.TenantStats, sb *seriesBuf) { sb.valFloat(st.EgressShare(id)) }},
+		func(st *engine.Stats, id uint16, _ engine.TenantStats, sb *seriesBuf) {
+			sb.valFloat(st.EgressShare(id))
+		}},
 }
 
 // workerScalar is one per-worker family.
@@ -320,6 +344,16 @@ var workerScalars = []workerScalar{
 		func(ws *engine.WorkerStats, sb *seriesBuf) { sb.valUint(ws.ReconfigApplied) }},
 	{"menshen_worker_reconfig_failed_total", "Control operations that failed on this shard.", "counter",
 		func(ws *engine.WorkerStats, sb *seriesBuf) { sb.valUint(ws.ReconfigFailed) }},
+	{"menshen_worker_reconfig_delivered_total", "Reconfiguration commands delivered to this shard (the §4.1 verification counter).", "counter",
+		func(ws *engine.WorkerStats, sb *seriesBuf) { sb.valUint(ws.ReconfigDelivered) }},
+	{"menshen_worker_stalled", "1 while the watchdog flags this shard as stalled, else 0.", "gauge",
+		func(ws *engine.WorkerStats, sb *seriesBuf) {
+			v := uint64(0)
+			if ws.Stalled {
+				v = 1
+			}
+			sb.valUint(v)
+		}},
 }
 
 // appendMetrics renders the full exposition document: every family
@@ -374,6 +408,8 @@ func appendMetrics(b []byte, nodes []NodeStats, scratch *metricsScratch) []byte 
 		}
 	}
 
+	appendLinkFaults(sb, nodes)
+
 	const histName = "menshen_worker_batch_latency_seconds"
 	sb.family(histName, "Sampled batch service time (log2 buckets re-emitted cumulatively).", "histogram")
 	for ni := range nodes {
@@ -390,6 +426,62 @@ func appendMetrics(b []byte, nodes []NodeStats, scratch *metricsScratch) []byte 
 	appendWindowQuantile(sb, nodes, "menshen_worker_batch_latency_window_p99_seconds", 0.99)
 
 	return sb.b
+}
+
+// linkFaultKind is one class column of faultinject.Counts rendered as
+// a kind label on menshen_link_fault_frames_total.
+type linkFaultKind struct {
+	kind string
+	val  func(c faultinject.Counts) uint64
+}
+
+var linkFaultKinds = []linkFaultKind{
+	{"dropped", func(c faultinject.Counts) uint64 { return c.Dropped }},
+	{"corrupted", func(c faultinject.Counts) uint64 { return c.Corrupted }},
+	{"delayed", func(c faultinject.Counts) uint64 { return c.Delayed }},
+	{"reordered", func(c faultinject.Counts) uint64 { return c.Reordered }},
+}
+
+// appendLinkFaults renders the per-link fault-injector families for
+// nodes that supplied LinkFaults. Ports are walked in numeric order by
+// probing the 0..255 egress space, so the output is deterministic
+// without sorting allocations; both families are skipped entirely when
+// no node carries an injector.
+func appendLinkFaults(sb *seriesBuf, nodes []NodeStats) {
+	any := false
+	for ni := range nodes {
+		if len(nodes[ni].LinkFaults) > 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+	sb.family("menshen_link_frames_total", "Frames seen by the link's fault injector.", "counter")
+	for ni := range nodes {
+		for p := 0; p < 256; p++ {
+			if c, ok := nodes[ni].LinkFaults[uint8(p)]; ok {
+				sb.start("menshen_link_frames_total", nodes[ni].Node)
+				sb.labelUint("link", uint64(p))
+				sb.valUint(c.Seen)
+			}
+		}
+	}
+	sb.family("menshen_link_fault_frames_total",
+		"Frames the link's fault injector dropped, corrupted, delayed, or reordered, by kind.", "counter")
+	for _, k := range linkFaultKinds {
+		for ni := range nodes {
+			for p := 0; p < 256; p++ {
+				if c, ok := nodes[ni].LinkFaults[uint8(p)]; ok {
+					sb.start("menshen_link_fault_frames_total", nodes[ni].Node)
+					sb.labelUint("link", uint64(p))
+					sb.labelStr("kind", k.kind)
+					sb.valUint(k.val(c))
+				}
+			}
+		}
+	}
 }
 
 // appendWorkerHistogram re-emits one worker's log2 latency histogram

@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"repro/internal/engine"
+	"repro/internal/faultinject"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -42,12 +43,15 @@ func goldenNodes() []NodeStats {
 					return h
 				}(),
 				ReconfigGen: 3, ReconfigApplied: 6, ReconfigFailed: 1,
+				ReconfigDelivered: 9, Stalled: true, SinceProgress: 40 * 1e6,
 			},
 		},
 		Uptime:         2500 * 1e6, // 2.5s
 		ReconfigIssued: 3, ReconfigApplied: 6, ReconfigFailed: 1, ReconfigFrames: 2,
-		Updating:  4,
-		PoolHits:  3, PoolMisses: 1,
+		ReconfigRetries: 5, VerifyFailures: 1, CmdFaultsInjected: 12,
+		DegradedWorkers: 1, DegradedEvents: 2,
+		Updating: 4,
+		PoolHits: 3, PoolMisses: 1,
 		BytesCopied: 4096,
 	}
 	winA := []engine.LatencyHistogram{func() engine.LatencyHistogram {
@@ -64,8 +68,15 @@ func goldenNodes() []NodeStats {
 		Workers: []engine.WorkerStats{{Batches: 4, Frames: 50, BatchTarget: 16}},
 		Uptime:  1250 * 1e6, // 1.25s
 	}
+	// Node A also carries two faulted links so the per-link families
+	// render: a noisy one with every class populated and a drop-only
+	// one, probing both the kind fan-out and the numeric port order.
+	lfA := map[uint8]faultinject.Counts{
+		1: {Seen: 500, Dropped: 40, Corrupted: 10, Delayed: 25, Reordered: 30, Held: 0},
+		3: {Seen: 200, Dropped: 200},
+	}
 	return []NodeStats{
-		{Node: "s0", Stats: stA, Window: winA},
+		{Node: "s0", Stats: stA, Window: winA, LinkFaults: lfA},
 		{Node: "we\\ird\"node\n", Stats: stB}, // no window: quantile gauges omitted
 	}
 }

@@ -3,7 +3,9 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/pprof"
 
@@ -33,6 +35,12 @@ type Ops struct {
 	// AwaitQuiesce blocks until every shard has applied the given
 	// generation.
 	AwaitQuiesce func(gen uint64) error
+	// AwaitQuiesceCtx is the context-aware quiesce wait; when set it is
+	// preferred over AwaitQuiesce and runs under the request context,
+	// so an abandoned or timed-out HTTP request stops waiting instead
+	// of parking a handler goroutine behind a stalled shard. Wire
+	// Engine.AwaitQuiesceCtx here.
+	AwaitQuiesceCtx func(ctx context.Context, gen uint64) error
 }
 
 // Server is the management endpoint bundle mounted by Handler. All
@@ -185,7 +193,7 @@ func (s *Server) handleQuiesce(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	if s.ops.AwaitQuiesce == nil {
+	if s.ops.AwaitQuiesce == nil && s.ops.AwaitQuiesceCtx == nil {
 		http.Error(w, "not implemented", http.StatusNotImplemented)
 		return
 	}
@@ -194,11 +202,32 @@ func (s *Server) handleQuiesce(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
 		return
 	}
-	if err := s.ops.AwaitQuiesce(req.Generation); err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+	if err := s.awaitQuiesce(r.Context(), req.Generation); err != nil {
+		writeJSON(w, quiesceStatus(err), map[string]any{"error": err.Error()})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"generation": req.Generation})
+}
+
+// awaitQuiesce runs the configured quiesce wait, preferring the
+// context-aware variant so a stalled shard or an abandoned request
+// cannot park the handler goroutine forever.
+func (s *Server) awaitQuiesce(ctx context.Context, gen uint64) error {
+	if s.ops.AwaitQuiesceCtx != nil {
+		return s.ops.AwaitQuiesceCtx(ctx, gen)
+	}
+	return s.ops.AwaitQuiesce(gen)
+}
+
+// quiesceStatus maps a quiesce-wait failure to an HTTP status: a
+// degraded (stalled) shard or an expired request context is a
+// service-availability problem, not a bad request.
+func quiesceStatus(err error) int {
+	if errors.Is(err, engine.ErrDegraded) ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
 }
 
 // errNotImplemented marks a mutation whose Ops entry is nil.
@@ -229,9 +258,9 @@ func (s *Server) mutate(w http.ResponseWriter, r *http.Request, op func(*control
 		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
 		return
 	}
-	if req.Wait && s.ops.AwaitQuiesce != nil {
-		if err := s.ops.AwaitQuiesce(gen); err != nil {
-			writeJSON(w, http.StatusInternalServerError, map[string]any{
+	if req.Wait && (s.ops.AwaitQuiesce != nil || s.ops.AwaitQuiesceCtx != nil) {
+		if err := s.awaitQuiesce(r.Context(), gen); err != nil {
+			writeJSON(w, quiesceStatus(err), map[string]any{
 				"generation": gen, "error": err.Error(),
 			})
 			return

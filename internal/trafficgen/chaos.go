@@ -1,0 +1,86 @@
+// Deterministic chaos-event schedules: the control-plane half of a
+// chaos run. Link faults are drawn per frame by internal/faultinject;
+// this file schedules the discrete operator actions layered on top —
+// egress-weight churn and live verified module reloads — at seeded,
+// reproducible points in the injected stream, so a failing chaos run
+// replays bit-for-bit from its seed.
+package trafficgen
+
+// ChaosKind discriminates the scheduled chaos events.
+type ChaosKind int
+
+const (
+	// ChaosWeightChurn changes a tenant's §3.5 egress WFQ weight
+	// mid-run.
+	ChaosWeightChurn ChaosKind = iota
+	// ChaosReload live-unloads a tenant and reloads it through the
+	// verified (§4.1 counter-poll/retry) path while traffic flows.
+	ChaosReload
+)
+
+// String names the event kind for reports.
+func (k ChaosKind) String() string {
+	switch k {
+	case ChaosWeightChurn:
+		return "weight-churn"
+	case ChaosReload:
+		return "reload"
+	default:
+		return "unknown"
+	}
+}
+
+// ChaosEvent is one scheduled control-plane action.
+type ChaosEvent struct {
+	// AtBatch is the injected-batch index the event fires before.
+	AtBatch int
+	// Kind selects the action.
+	Kind ChaosKind
+	// Tenant is the target module ID.
+	Tenant uint16
+	// Weight is the new egress weight (ChaosWeightChurn only; always
+	// in [1,4] so shares stay comparable).
+	Weight float64
+}
+
+// ChaosSchedule builds a deterministic schedule of n events spread
+// evenly over totalBatches injected batches, alternating weight churn
+// and verified reloads round-robin across the given tenants, with
+// seeded jitter so events don't land on exact period boundaries.
+// Events are returned in firing order: AtBatch is non-decreasing (the
+// jitter is bounded to a quarter period each way), and ties preserve
+// schedule order.
+func ChaosSchedule(prng *PRNG, totalBatches, n int, tenants []uint16) []ChaosEvent {
+	if n <= 0 || totalBatches <= 0 || len(tenants) == 0 {
+		return nil
+	}
+	period := totalBatches / (n + 1)
+	if period < 1 {
+		period = 1
+	}
+	events := make([]ChaosEvent, 0, n)
+	for i := 0; i < n; i++ {
+		at := (i + 1) * period
+		if jitter := period / 2; jitter > 0 {
+			at += prng.Intn(jitter+1) - jitter/2
+		}
+		if at >= totalBatches {
+			at = totalBatches - 1
+		}
+		if at < 0 {
+			at = 0
+		}
+		ev := ChaosEvent{
+			AtBatch: at,
+			Tenant:  tenants[i%len(tenants)],
+		}
+		if i%2 == 0 {
+			ev.Kind = ChaosWeightChurn
+			ev.Weight = float64(1 + prng.Intn(4))
+		} else {
+			ev.Kind = ChaosReload
+		}
+		events = append(events, ev)
+	}
+	return events
+}

@@ -1,0 +1,73 @@
+package trafficgen
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestChaosScheduleDeterministic: same seed, same schedule — the whole
+// point of a seeded chaos run is bit-for-bit replay.
+func TestChaosScheduleDeterministic(t *testing.T) {
+	a := ChaosSchedule(NewPRNG(7), 1000, 12, []uint16{1, 2, 3})
+	b := ChaosSchedule(NewPRNG(7), 1000, 12, []uint16{1, 2, 3})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different schedules:\n%v\n%v", a, b)
+	}
+	c := ChaosSchedule(NewPRNG(8), 1000, 12, []uint16{1, 2, 3})
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestChaosScheduleShape: n events, in-range firing points, firing
+// order, alternating kinds round-robined over tenants, weights in
+// [1,4].
+func TestChaosScheduleShape(t *testing.T) {
+	tenants := []uint16{4, 9}
+	evs := ChaosSchedule(NewPRNG(3), 500, 9, tenants)
+	if len(evs) != 9 {
+		t.Fatalf("got %d events, want 9", len(evs))
+	}
+	prev := -1
+	for i, ev := range evs {
+		if ev.AtBatch < 0 || ev.AtBatch >= 500 {
+			t.Errorf("event %d fires at %d, outside [0,500)", i, ev.AtBatch)
+		}
+		if ev.AtBatch < prev {
+			t.Errorf("event %d fires at %d, before previous %d", i, ev.AtBatch, prev)
+		}
+		prev = ev.AtBatch
+		if ev.Tenant != tenants[i%len(tenants)] {
+			t.Errorf("event %d targets tenant %d, want %d", i, ev.Tenant, tenants[i%len(tenants)])
+		}
+		switch {
+		case i%2 == 0:
+			if ev.Kind != ChaosWeightChurn || ev.Weight < 1 || ev.Weight > 4 {
+				t.Errorf("event %d: kind=%v weight=%v, want weight-churn in [1,4]", i, ev.Kind, ev.Weight)
+			}
+		default:
+			if ev.Kind != ChaosReload {
+				t.Errorf("event %d: kind=%v, want reload", i, ev.Kind)
+			}
+		}
+	}
+}
+
+// TestChaosScheduleDegenerate: empty inputs yield an empty schedule,
+// and more events than batches still fire in range.
+func TestChaosScheduleDegenerate(t *testing.T) {
+	if evs := ChaosSchedule(NewPRNG(1), 0, 5, []uint16{1}); evs != nil {
+		t.Fatalf("zero batches: got %v, want nil", evs)
+	}
+	if evs := ChaosSchedule(NewPRNG(1), 100, 0, []uint16{1}); evs != nil {
+		t.Fatalf("zero events: got %v, want nil", evs)
+	}
+	if evs := ChaosSchedule(NewPRNG(1), 100, 5, nil); evs != nil {
+		t.Fatalf("no tenants: got %v, want nil", evs)
+	}
+	for i, ev := range ChaosSchedule(NewPRNG(1), 3, 10, []uint16{1}) {
+		if ev.AtBatch < 0 || ev.AtBatch >= 3 {
+			t.Fatalf("event %d fires at %d, outside [0,3)", i, ev.AtBatch)
+		}
+	}
+}

@@ -321,6 +321,24 @@ func (d *Device) UnloadModule(moduleID uint16) error {
 	return nil
 }
 
+// restoreModule reinstalls a previously loaded module at its recorded
+// placement — the device half of the rollback after a failed verified
+// reload. The compiled program is reused as-is (it was augmented and
+// admitted when originally loaded), the allocator reclaims the exact
+// old spans, and the configuration is pushed back down the device's
+// own verified channel.
+func (d *Device) restoreModule(m *Module) error {
+	if err := d.alloc.Restore(m.program.Config, m.placement); err != nil {
+		return err
+	}
+	if _, err := d.client.LoadModule(m.program.Config, m.placement); err != nil {
+		_ = d.alloc.Release(m.ID)
+		return err
+	}
+	d.modules[m.ID] = m
+	return nil
+}
+
 // Modules returns the loaded module IDs in ascending order.
 func (d *Device) Modules() []uint16 { return d.alloc.Loaded() }
 

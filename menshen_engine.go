@@ -16,6 +16,8 @@ package menshen
 //	eng.Close()
 
 import (
+	"time"
+
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/reconfig"
@@ -85,6 +87,13 @@ type EngineConfig struct {
 	// obs package's Tracer ring is the intended sink).
 	OnTrace func(TraceHop)
 
+	// StallTimeout arms the worker stall watchdog: a shard with
+	// pending work whose progress counter freezes for this long is
+	// flagged degraded — counted in Stats, and context-aware quiesce
+	// waits blocked behind it fail fast with ErrDegraded instead of
+	// hanging. 0 disables the watchdog (zero overhead).
+	StallTimeout time.Duration
+
 	// FlowCacheEntries sizes each worker's exact-match flow cache: the
 	// per-worker fast path in front of large (hash-mode) match tables.
 	// 0 selects the default size, negative disables the cache. Cached
@@ -133,6 +142,7 @@ func (d *Device) NewEngine(cfg EngineConfig) (*Engine, error) {
 		EgressQuantumBytes: cfg.EgressQuantumBytes,
 		TraceEvery:         cfg.TraceEvery,
 		OnTrace:            cfg.OnTrace,
+		StallTimeout:       cfg.StallTimeout,
 		FlowCacheEntries:   cfg.FlowCacheEntries,
 	})
 	if err != nil {
