@@ -209,7 +209,9 @@ func main() {
 				eng.SetTenantLimit(tenant, pps, bps)
 				return eng.ReconfigGen(), nil
 			},
-			AwaitQuiesce:    eng.AwaitQuiesce,
+			// Only the Ctx-capable closure is wired: the obs server
+			// prefers it, and the bare variant would hand an HTTP
+			// handler an unbounded wait (ctxquiesce enforces this).
 			AwaitQuiesceCtx: eng.AwaitQuiesceCtx,
 		}, obs.Source{StatsInto: eng.StatsInto})
 		mgmtLn = startMgmt(*mgmtAddr, srv)
@@ -545,7 +547,7 @@ func runFabric(r fabricRun) {
 				entry.Eng.SetTenantLimit(tenant, pps, bps)
 				return entry.Eng.ReconfigGen(), nil
 			},
-			AwaitQuiesce:    entry.Eng.AwaitQuiesce,
+			// Ctx-capable closure only; see the single-engine wiring.
 			AwaitQuiesceCtx: entry.Eng.AwaitQuiesceCtx,
 		}, sources...)
 		mgmtLn = startMgmt(r.mgmtAddr, srv)

@@ -24,6 +24,14 @@ var docCheckedDirs = []string{
 	"internal/fabric",
 	"internal/obs",
 	"internal/faultinject",
+	"internal/analysis/framework",
+	"internal/analysis/analysistest",
+	"internal/analysis/driver",
+	"internal/analysis/hotpath",
+	"internal/analysis/hotpathalloc",
+	"internal/analysis/atomicfield",
+	"internal/analysis/ctxquiesce",
+	"internal/analysis/countederr",
 }
 
 // TestExportedDocComments fails for every exported type, function,

@@ -1,0 +1,221 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its diagnostics against `// want "regexp"` expectations — the
+// same contract as golang.org/x/tools/go/analysis/analysistest,
+// reimplemented on the standard library (see framework's package doc
+// for why the dependency is off the table).
+//
+// Fixtures live under <analyzer>/testdata/src/<importpath>/; the
+// loader resolves imports among fixture packages first (so a fixture
+// can fake a module package like repro/internal/engine) and falls back
+// to type-checking the standard library from source (importer "source"
+// needs no pre-built export data, which a module-mode toolchain no
+// longer ships).
+//
+// Expectation syntax, on the line the diagnostic anchors to:
+//
+//	x := bad() // want "regexp matching the message"
+//	y := alsoBad() // want "first" "second"
+//
+// Every diagnostic must match a want on its line and every want must
+// be matched, or the test fails with a position-sorted report.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/framework"
+)
+
+// Run loads each fixture package below filepath.Join(testdata, "src"),
+// applies the analyzer to it, and checks the diagnostics against the
+// fixtures' // want comments.
+func Run(t *testing.T, testdata string, a *framework.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	l := newLoader(filepath.Join(testdata, "src"))
+	for _, path := range pkgPaths {
+		runPkg(t, l, a, path)
+	}
+}
+
+func runPkg(t *testing.T, l *loader, a *framework.Analyzer, path string) {
+	t.Helper()
+	lp, err := l.load(path)
+	if err != nil {
+		t.Fatalf("%s: loading fixture package %s: %v", a.Name, path, err)
+	}
+
+	var got []framework.Diagnostic
+	pass := &framework.Pass{
+		Analyzer:  a,
+		Fset:      l.fset,
+		Files:     lp.files,
+		Pkg:       lp.pkg,
+		TypesInfo: lp.info,
+		Report:    func(d framework.Diagnostic) { got = append(got, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("%s: analyzer failed on %s: %v", a.Name, path, err)
+	}
+
+	wants := collectWants(t, l.fset, lp.files)
+	sort.Slice(got, func(i, j int) bool { return got[i].Pos < got[j].Pos })
+	for _, d := range got {
+		p := l.fset.Position(d.Pos)
+		key := wantKey{p.Filename, p.Line}
+		matched := false
+		for _, w := range wants[key] {
+			if !w.used && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic at %s: %s", a.Name, p, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.used {
+				t.Errorf("%s: no diagnostic at %s:%d matching %q", a.Name, key.file, key.line, w.re)
+			}
+		}
+	}
+}
+
+type wantKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re   *regexp.Regexp
+	used bool
+}
+
+// wantRE pulls the quoted patterns out of a `// want "..." "..."`
+// comment; both double-quoted and backquoted forms are accepted.
+var wantRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[wantKey][]*want {
+	t.Helper()
+	wants := make(map[wantKey][]*want)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				p := fset.Position(c.Slash)
+				for _, q := range wantRE.FindAllString(c.Text[idx:], -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", p, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", p, pat, err)
+					}
+					key := wantKey{p.Filename, p.Line}
+					wants[key] = append(wants[key], &want{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// loader type-checks fixture packages, resolving fixture-local imports
+// from srcRoot and everything else from the standard library.
+type loader struct {
+	srcRoot string
+	fset    *token.FileSet
+	std     types.Importer
+	loaded  map[string]*loadedPkg
+}
+
+type loadedPkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+func newLoader(srcRoot string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		srcRoot: srcRoot,
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		loaded:  make(map[string]*loadedPkg),
+	}
+}
+
+// Import implements types.Importer over fixture-then-stdlib paths.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if st, err := os.Stat(filepath.Join(l.srcRoot, filepath.FromSlash(path))); err == nil && st.IsDir() {
+		lp, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return lp.pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+func (l *loader) load(path string) (*loadedPkg, error) {
+	if lp, ok := l.loaded[path]; ok {
+		return lp, nil
+	}
+	dir := filepath.Join(l.srcRoot, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	lp := &loadedPkg{pkg: pkg, files: files, info: info}
+	l.loaded[path] = lp
+	return lp, nil
+}

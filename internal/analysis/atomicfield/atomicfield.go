@@ -1,0 +1,239 @@
+// Package atomicfield implements the atomicfield analyzer: a struct
+// field that is accessed through sync/atomic anywhere in the package
+// must never be read or written plainly elsewhere in it.
+//
+// Mixed atomic/plain access is the race -race only catches on the
+// lucky interleaving: the atomic side promises the field is shared,
+// the plain side tears it. The analyzer collects every field reached
+// through an atomic function call taking its address
+// (atomic.LoadUint64(&s.f), atomic.AddUint32(&s.f), ...) and then
+// flags every other plain selector use of the same field, plus plain
+// writes that copy the whole owning struct over it.
+//
+// Escape hatches, in order of preference:
+//
+//   - Use the typed atomics (atomic.Uint64 and friends): a typed field
+//     cannot be accessed plainly at all, which is why the engine uses
+//     them everywhere. This analyzer exists for the residue that
+//     cannot — e.g. a field whose plain access IS the point, like the
+//     flow cache's tag, where one atomic load exists only to defeat
+//     dead-code elimination.
+//   - `//menshen:guarded-by <what>` on the accessing function's doc
+//     comment, or inline on the access line, records that the plain
+//     access is serialized by something external (a single-owner
+//     goroutine, a writer lock). The argument is mandatory — it is the
+//     documentation of the synchronization invariant.
+//   - Accesses inside func init and inside _test.go files are exempt:
+//     initialization happens-before sharing, and tests read counters
+//     after joining their goroutines.
+//
+// The analysis is per-package (unexported fields cannot be reached
+// from elsewhere, and the repo's atomics all are unexported).
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the atomicfield analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "atomicfield",
+	Doc:  "report plain accesses to struct fields that are accessed atomically elsewhere",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) (any, error) {
+	dirs := framework.ScanDirectives(pass.Fset, pass.Files)
+	info := pass.TypesInfo
+
+	// Pass 1: find every field whose address feeds a sync/atomic call.
+	// atomicUse marks the selector nodes that ARE the atomic access, so
+	// pass 2 does not report them against themselves.
+	atomicAt := make(map[*types.Var]token.Pos) // field -> first atomic use
+	atomicUse := make(map[*ast.SelectorExpr]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			// The address argument: atomic.XxxPointer variants put it
+			// first; every sync/atomic function does.
+			addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return true
+			}
+			fsel, ok := ast.Unparen(addr.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			field := fieldOf(info, fsel)
+			if field == nil {
+				return true
+			}
+			atomicUse[fsel] = true
+			if _, seen := atomicAt[field]; !seen {
+				atomicAt[field] = fsel.Pos()
+			}
+			return true
+		})
+	}
+	if len(atomicAt) == 0 {
+		return nil, nil
+	}
+
+	// The named struct types owning those fields, for whole-struct
+	// write detection (s.slots[i] = slot{...} plainly writes every
+	// atomic field the struct holds).
+	owners := make(map[*types.TypeName]*types.Var)
+	for field := range atomicAt {
+		if owner := owningStruct(field); owner != nil {
+			owners[owner] = field
+		}
+	}
+
+	// Pass 2: every other plain use.
+	for _, file := range pass.Files {
+		framework.WalkStack(file, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				field := fieldOf(info, n)
+				if field == nil {
+					break
+				}
+				first, hot := atomicAt[field]
+				if !hot || atomicUse[n] {
+					break
+				}
+				if excused(pass, dirs, stack, n.Pos()) {
+					break
+				}
+				pass.Reportf(n.Pos(),
+					"atomicfield: plain access to %s, which is accessed atomically at %s (use sync/atomic, or annotate //menshen:guarded-by <what> if externally serialized)",
+					field.Name(), pass.Fset.Position(first))
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					// Only stores through an lvalue expression (index,
+					// selector, deref) copy a struct over a shared
+					// location; defining a plain local is not a write
+					// to shared state.
+					if _, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+						continue
+					}
+					tn := namedStructOf(info.TypeOf(lhs))
+					if tn == nil {
+						continue
+					}
+					field, ok := owners[tn]
+					if !ok {
+						continue
+					}
+					if excused(pass, dirs, stack, lhs.Pos()) {
+						continue
+					}
+					pass.Reportf(lhs.Pos(),
+						"atomicfield: plain struct write covers field %s of %s, which is accessed atomically at %s (use sync/atomic, or annotate //menshen:guarded-by <what> if externally serialized)",
+						field.Name(), tn.Name(), pass.Fset.Position(atomicAt[field]))
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// excused reports whether a plain access at pos is exempt: test files,
+// func init, or a //menshen:guarded-by annotation on the enclosing
+// function or the line itself.
+func excused(pass *framework.Pass, dirs *framework.Directives, stack []ast.Node, pos token.Pos) bool {
+	if dirs.InTestFile(pos) {
+		return true
+	}
+	if _, ok := dirs.At(pos, "guarded-by"); ok {
+		return true
+	}
+	for _, anc := range stack {
+		if fn, ok := anc.(*ast.FuncDecl); ok {
+			if fn.Name.Name == "init" && fn.Recv == nil {
+				return true
+			}
+			if _, ok := dirs.Func(fn, "guarded-by"); ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// fieldOf resolves a selector to the struct field it names, or nil.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}
+
+// owningStruct finds the named type whose struct directly declares
+// field, by walking the field's package scope. Returns nil for fields
+// of anonymous struct types.
+func owningStruct(field *types.Var) *types.TypeName {
+	pkg := field.Pkg()
+	if pkg == nil {
+		return nil
+	}
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == field {
+				return tn
+			}
+		}
+	}
+	return nil
+}
+
+// namedStructOf returns the type name if t (or *t) is a named struct.
+func namedStructOf(t types.Type) *types.TypeName {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	if _, ok := n.Underlying().(*types.Struct); !ok {
+		return nil
+	}
+	return n.Obj()
+}

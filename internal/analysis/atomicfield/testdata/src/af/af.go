@@ -1,0 +1,57 @@
+// Package af exercises the atomicfield analyzer: mixed atomic/plain
+// access to the same field, whole-struct overwrites, and all three
+// escape hatches (guarded-by on the function, guarded-by on the line,
+// func init).
+package af
+
+import "sync/atomic"
+
+type counter struct {
+	n    uint64
+	cold uint64
+}
+
+func bump(c *counter) {
+	atomic.AddUint64(&c.n, 1)
+}
+
+func read(c *counter) uint64 {
+	return atomic.LoadUint64(&c.n)
+}
+
+func bad(c *counter) uint64 {
+	c.cold = 1 // never touched atomically: fine
+	return c.n // want "plain access to n"
+}
+
+func badWrite(c *counter) {
+	c.n = 0 // want "plain access to n"
+}
+
+//menshen:guarded-by writer mutex held by the reconfig path
+func guardedFn(c *counter) {
+	c.n = 0
+}
+
+func guardedLine(c *counter) {
+	c.n = 0 //menshen:guarded-by single-owner goroutine
+}
+
+func init() {
+	var c counter
+	c.n = 7
+	_ = c.cold
+}
+
+type slotTable struct {
+	slots []counter
+}
+
+func (t *slotTable) store(i int, v counter) {
+	t.slots[i] = v // want "plain struct write covers field n"
+}
+
+//menshen:guarded-by table is quiesced during rebuild
+func (t *slotTable) rebuild(i int) {
+	t.slots[i] = counter{}
+}

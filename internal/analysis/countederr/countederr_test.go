@@ -1,0 +1,12 @@
+package countederr_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/countederr"
+)
+
+func TestCountedErrAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", countederr.Analyzer, "a")
+}

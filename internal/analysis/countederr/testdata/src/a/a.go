@@ -1,0 +1,24 @@
+// Package a exercises the countederr analyzer: every discard shape for
+// a counted-fate call, plus the handled control cases.
+package a
+
+import "repro/internal/engine"
+
+func bad(e *engine.Engine, frames [][]byte) {
+	e.ForwardBatch(frames, 0, nil)         // want "result discarded from counted-fate API ForwardBatch"
+	n, _ := e.ForwardBatch(frames, 0, nil) // want "error assigned to _"
+	_ = n
+	_, _ = e.SubmitOwned(frames[0])      // want "error assigned to _"
+	go e.ForwardBatch(frames, 0, nil)    // want "discarded by go statement"
+	defer e.ForwardBatch(frames, 0, nil) // want "discarded by defer"
+}
+
+func good(e *engine.Engine, frames [][]byte) error {
+	acc, err := e.ForwardBatch(frames, 0, nil)
+	_ = acc
+	if _, err := e.SubmitBatchOwned(frames); err != nil {
+		return err
+	}
+	e.Rebuild() // not a counted-fate API: fine
+	return err
+}

@@ -1,0 +1,103 @@
+// Package ctxquiesce implements the ctxquiesce analyzer: bare
+// AwaitQuiesce / Quiesce is forbidden outside tests and the engine
+// package itself.
+//
+// PR 8 made the quiesce barrier deadline-bounded: AwaitQuiesceCtx and
+// QuiesceCtx observe a context and bail out with ErrDegraded when a
+// stall watchdog has flagged a shard the barrier would otherwise wait
+// on forever. The unbounded variants remain for convenience, but in
+// server, daemon, and obs code they reintroduce exactly the hang the
+// Ctx variants were built to kill. The analyzer reports every use —
+// call or method value, since a method value handed to an options
+// struct is how the unbounded wait typically escapes review — of a
+// method named AwaitQuiesce or Quiesce declared on a type in this
+// module, except:
+//
+//   - in _test.go files, where an unbounded wait fails the test
+//     runner's own deadline and is idiomatic;
+//   - in the engine package (repro/internal/engine) itself, which
+//     defines the variants in terms of each other;
+//   - in a wrapper whose enclosing function carries the same name as
+//     the method it forwards to (the facade's Engine.AwaitQuiesce and
+//     the fabric's Quiesce are thin re-exports of the same contract,
+//     and their own callers are checked in turn).
+package ctxquiesce
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// modulePrefix scopes the check to methods declared in this module, so
+// an unrelated dependency type with a Quiesce method would not trip
+// it. Analyzer fixtures use the same prefix for their fake packages.
+const modulePrefix = "repro"
+
+// enginePath is the one package allowed to use the bare variants: it
+// defines them.
+const enginePath = "repro/internal/engine"
+
+// barred is the set of method names whose bare use is a finding.
+var barred = map[string]bool{"AwaitQuiesce": true, "Quiesce": true}
+
+// Analyzer is the ctxquiesce analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "ctxquiesce",
+	Doc:  "report bare AwaitQuiesce/Quiesce outside tests and the engine package (use the Ctx variants)",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) (any, error) {
+	if p := strings.TrimSuffix(pass.Pkg.Path(), "_test"); p == enginePath {
+		return nil, nil
+	}
+	dirs := framework.ScanDirectives(pass.Fset, pass.Files)
+	for _, file := range pass.Files {
+		framework.WalkStack(file, func(n ast.Node, stack []ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || !barred[fn.Name()] {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() == nil {
+				return true // plain function or field: not the engine barrier
+			}
+			if fn.Pkg() == nil {
+				return true
+			}
+			if p := fn.Pkg().Path(); p != modulePrefix && !strings.HasPrefix(p, modulePrefix+"/") {
+				return true
+			}
+			if dirs.InTestFile(sel.Pos()) {
+				return true
+			}
+			if wrapper(stack, fn.Name()) {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"ctxquiesce: bare %s can block forever; use %sCtx so the wait is deadline-bounded (bare variants are allowed only in tests and the engine package)",
+				fn.Name(), fn.Name())
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// wrapper reports whether the use sits inside a function of the same
+// name as the barred method — a thin re-export forwarding the
+// contract, whose callers are checked in turn.
+func wrapper(stack []ast.Node, name string) bool {
+	for _, anc := range stack {
+		if fd, ok := anc.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return true
+		}
+	}
+	return false
+}

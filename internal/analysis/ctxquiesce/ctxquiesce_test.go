@@ -1,0 +1,12 @@
+package ctxquiesce_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/ctxquiesce"
+)
+
+func TestCtxQuiesceAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxquiesce.Analyzer, "a", "repro/internal/engine")
+}

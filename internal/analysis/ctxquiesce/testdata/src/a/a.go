@@ -1,0 +1,35 @@
+// Package a exercises the ctxquiesce analyzer from outside the engine
+// package: bare calls, method values escaping into an options struct,
+// the Ctx variants, func-typed fields, and the same-name wrapper
+// allowance.
+package a
+
+import (
+	"context"
+
+	"repro/internal/engine"
+)
+
+type ops struct {
+	await func(gen uint64) error
+}
+
+func bad(e *engine.Engine) {
+	_ = e.AwaitQuiesce(1)           // want "bare AwaitQuiesce"
+	_ = e.Quiesce()                 // want "bare Quiesce"
+	o := ops{await: e.AwaitQuiesce} // want "bare AwaitQuiesce"
+	if o.await != nil {
+		_ = o.await(1) // func-typed field, not the engine method: fine
+	}
+}
+
+func good(e *engine.Engine) {
+	_ = e.AwaitQuiesceCtx(context.Background(), 1)
+	_ = e.QuiesceCtx(context.Background())
+}
+
+// AwaitQuiesce re-exports the engine barrier under the same name: the
+// wrapper is allowed, and its own callers are checked in turn.
+func AwaitQuiesce(e *engine.Engine, gen uint64) error {
+	return e.AwaitQuiesce(gen)
+}

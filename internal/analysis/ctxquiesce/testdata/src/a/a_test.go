@@ -1,0 +1,9 @@
+// Bare calls in _test.go files are exempt: the test runner's own
+// deadline bounds them.
+package a
+
+import "repro/internal/engine"
+
+func waitInTest(e *engine.Engine) error {
+	return e.AwaitQuiesce(1)
+}

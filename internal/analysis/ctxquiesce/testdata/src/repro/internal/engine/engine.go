@@ -1,0 +1,19 @@
+// Package engine is a fixture stand-in for the real engine package:
+// it declares the quiesce barrier in both bare and Ctx forms. The
+// ctxquiesce analyzer must stay silent in this package — it defines
+// the variants in terms of each other.
+package engine
+
+import "context"
+
+type Engine struct{}
+
+func (e *Engine) AwaitQuiesce(gen uint64) error {
+	return e.AwaitQuiesceCtx(context.Background(), gen)
+}
+
+func (e *Engine) AwaitQuiesceCtx(ctx context.Context, gen uint64) error { return nil }
+
+func (e *Engine) Quiesce() error { return e.QuiesceCtx(context.Background()) }
+
+func (e *Engine) QuiesceCtx(ctx context.Context) error { return nil }

@@ -1,0 +1,278 @@
+// Package driver runs framework analyzers in the two modes
+// cmd/menshen-lint supports:
+//
+//   - standalone: `menshen-lint ./...` loads the named packages with
+//     `go list -export -deps -json`, type-checks each from source
+//     against its dependencies' compiler export data, and prints
+//     findings — the ergonomic local loop;
+//   - vettool: when the go command invokes the binary via `go vet
+//     -vettool=`, the driver speaks cmd/go's unitchecker protocol
+//     (unitchecker.go) — the mode CI uses, which also covers test
+//     files since go vet analyzes test units.
+//
+// Both modes are stdlib-only; see framework's package doc for why
+// golang.org/x/tools is not an option here.
+package driver
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// Main is the entry point shared by every mode; it never returns.
+func Main(analyzers []*framework.Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	log.SetFlags(0)
+	log.SetPrefix(progname + ": ")
+	args := os.Args[1:]
+
+	// `go vet` version handshake: the go command content-addresses the
+	// tool by this line, so the buildID must change whenever the
+	// binary does — hash the executable itself.
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V=") {
+		if args[0] != "-V=full" {
+			log.Fatalf("unsupported version flag %s", args[0])
+		}
+		fmt.Printf("%s version devel buildID=%s\n", progname, selfHash())
+		os.Exit(0)
+	}
+
+	// `go vet` flag discovery: a JSON list of the flags the tool
+	// accepts, which go vet validates user flags against.
+	if len(args) == 1 && args[0] == "-flags" {
+		printFlags(analyzers)
+		os.Exit(0)
+	}
+
+	fs := flag.NewFlagSet(progname, flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: %s [-analyzer]... [package pattern]...\n", progname)
+		fmt.Fprintf(fs.Output(), "       go vet -vettool=$(which %s) [-analyzer]... [package pattern]...\n\nanalyzers:\n", progname)
+		for _, a := range analyzers {
+			fmt.Fprintf(fs.Output(), "  -%-14s %s\n", a.Name, firstLine(a.Doc))
+		}
+	}
+	enabled := make(map[string]*bool, len(analyzers))
+	for _, a := range analyzers {
+		enabled[a.Name] = fs.Bool(a.Name, false, firstLine(a.Doc))
+	}
+	fs.Parse(args)
+
+	// Vet semantics: naming any analyzer flag selects that subset;
+	// naming none runs them all.
+	var selected []*framework.Analyzer
+	for _, a := range analyzers {
+		if *enabled[a.Name] {
+			selected = append(selected, a)
+		}
+	}
+	if len(selected) == 0 {
+		selected = analyzers
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		runUnit(rest[0], selected) // exits
+	}
+	os.Exit(runStandalone(selected, rest))
+}
+
+// selfHash returns a short hex digest of the running executable.
+func selfHash() string {
+	exe, err := os.Executable()
+	if err == nil {
+		if f, err := os.Open(exe); err == nil {
+			defer f.Close()
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				return fmt.Sprintf("%x", h.Sum(nil)[:12])
+			}
+		}
+	}
+	// Degraded fallback: still a valid buildID, just not content-true.
+	return "unknown"
+}
+
+func printFlags(analyzers []*framework.Analyzer) {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var flags []jsonFlag
+	for _, a := range analyzers {
+		flags = append(flags, jsonFlag{Name: a.Name, Bool: true, Usage: firstLine(a.Doc)})
+	}
+	data, err := json.Marshal(flags)
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+}
+
+func firstLine(s string) string {
+	line, _, _ := strings.Cut(s, "\n")
+	return line
+}
+
+// listPkg is the subset of `go list -json` output the loader needs.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Standard   bool
+	Export     string
+	DepOnly    bool
+}
+
+// runStandalone loads the named patterns via the go command and
+// analyzes every non-dependency package, returning the process exit
+// code: 0 clean, 1 findings, 2 operational failure.
+func runStandalone(analyzers []*framework.Analyzer, patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Dir,GoFiles,Standard,Export,DepOnly",
+	}, patterns...)...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		log.Printf("go list: %v", err)
+		return 2
+	}
+
+	exports := make(map[string]string)
+	var targets []*listPkg
+	dec := json.NewDecoder(strings.NewReader(string(out)))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			log.Printf("parsing go list output: %v", err)
+			return 2
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			pkg := p
+			targets = append(targets, &pkg)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	exit := 0
+	for _, p := range targets {
+		diags, err := analyzePkg(fset, imp, p.ImportPath, p.Dir, p.GoFiles, analyzers)
+		if err != nil {
+			log.Printf("%s: %v", p.ImportPath, err)
+			return 2
+		}
+		if len(diags) > 0 && exit == 0 {
+			exit = 1
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	return exit
+}
+
+// analyzePkg parses and type-checks one package from source and runs
+// every analyzer over it, returning rendered diagnostics sorted by
+// position.
+func analyzePkg(fset *token.FileSet, imp types.Importer, path, dir string, goFiles []string, analyzers []*framework.Analyzer) ([]string, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		fname := name
+		if !filepath.IsAbs(fname) {
+			fname = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, fname, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking: %w", err)
+	}
+	return runAnalyzers(fset, files, pkg, info, analyzers)
+}
+
+// newInfo allocates the full set of type-checker result maps.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// runAnalyzers applies each analyzer to the package and renders the
+// combined findings as "file:line:col: message [analyzer]" lines.
+func runAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*framework.Analyzer) ([]string, error) {
+	type posDiag struct {
+		pos  token.Pos
+		text string
+	}
+	var all []posDiag
+	for _, a := range analyzers {
+		pass := &framework.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report:    nil,
+		}
+		name := a.Name
+		pass.Report = func(d framework.Diagnostic) {
+			all = append(all, posDiag{d.Pos, fmt.Sprintf("%s: %s [%s]", fset.Position(d.Pos), d.Message, name)})
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].pos < all[j].pos })
+	out := make([]string, len(all))
+	for i, d := range all {
+		out[i] = d.text
+	}
+	return out, nil
+}

@@ -1,0 +1,103 @@
+package hotpath_test
+
+import (
+	"os"
+	"os/exec"
+	"path"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/hotpath"
+)
+
+// moduleRoot walks up from the package directory to go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test directory")
+		}
+		dir = parent
+	}
+}
+
+// escapeRE matches the compiler's heap diagnostics:
+// "internal/sched/egress.go:70:6: x escapes to heap".
+var escapeRE = regexp.MustCompile(`^([^\s:]+\.go):(\d+):\d+: (.*(?:escapes to heap|moved to heap).*)$`)
+
+// TestHotPathEscapeAnalysis cross-checks the hotpathalloc analyzer
+// against the compiler's own escape analysis: `go build -gcflags=-m`
+// over every package with //menshen:hotpath annotations must report no
+// heap escape inside an annotated span, except on lines excused by a
+// //menshen:allocok comment. The static analyzer reasons syntactically;
+// this catches what it cannot see (escapes the optimizer introduces or
+// fails to elide).
+func TestHotPathEscapeAnalysis(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recompiles the annotated packages; skipped in -short")
+	}
+	root := moduleRoot(t)
+	funcs, err := hotpath.Scan(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(funcs) == 0 {
+		t.Fatal("no //menshen:hotpath annotations found; the guard is vacuous")
+	}
+
+	// One `go build` over the union of annotated packages; -gcflags
+	// without a pattern applies to the packages named on the command
+	// line, and diagnostics replay from the build cache on warm runs.
+	byFile := map[string][]hotpath.Func{}
+	pkgSet := map[string]bool{}
+	for _, f := range funcs {
+		byFile[f.File] = append(byFile[f.File], f)
+		pkgSet[path.Dir(f.File)] = true
+	}
+	args := []string{"build", "-gcflags=-m"}
+	pkgs := make([]string, 0, len(pkgSet))
+	for dir := range pkgSet {
+		pkgs = append(pkgs, "./"+dir)
+	}
+	sort.Strings(pkgs)
+	args = append(args, pkgs...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go %s: %v\n%s", strings.Join(args, " "), err, out)
+	}
+
+	matched := false
+	for _, line := range strings.Split(string(out), "\n") {
+		m := escapeRE.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		matched = true
+		file := filepath.ToSlash(m[1])
+		lineNo, _ := strconv.Atoi(m[2])
+		for i := range byFile[file] {
+			f := &byFile[file][i]
+			if lineNo < f.StartLine || lineNo > f.EndLine || f.Excused(lineNo) {
+				continue
+			}
+			t.Errorf("%s:%d: heap escape inside //menshen:hotpath %s: %s (justify with //menshen:allocok or restructure)", file, lineNo, f.Key, m[3])
+		}
+	}
+	if !matched {
+		t.Fatal("escape analysis output contained no heap diagnostics at all; the -gcflags=-m plumbing is broken")
+	}
+}

@@ -1,0 +1,152 @@
+// Package hotpath enumerates the functions annotated //menshen:hotpath
+// across a source tree. It is the single source of truth the runtime
+// allocation guard (TestHotPathZeroAlloc at the repository root) and
+// the escape-analysis cross-check key off, so the annotation set and
+// the guards cannot drift apart: every annotated function must be
+// claimed by exactly one guard table entry, and every escape the
+// compiler reports inside an annotated span must carry a
+// //menshen:allocok justification.
+package hotpath
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Func describes one //menshen:hotpath-annotated function.
+type Func struct {
+	// Key names the function the way the guard table refers to it:
+	// the package directory relative to the scanned root, a dot, and
+	// the receiver-qualified name — e.g.
+	// "internal/engine.(*worker).run" or "internal/engine.steer".
+	Key string
+
+	// File is the declaring file, slash-separated and relative to the
+	// scanned root.
+	File string
+
+	// StartLine is the declaration line; with EndLine it bounds the
+	// span used to attribute compiler escape diagnostics.
+	StartLine int
+	// EndLine is the closing-brace line of the function body.
+	EndLine int
+
+	// AllocOK lists the lines inside the span that carry a
+	// //menshen:allocok escape hatch. A diagnostic on such a line, or
+	// on the line immediately after (the standalone comment-above
+	// form), is a justified allocation rather than a finding.
+	AllocOK []int
+}
+
+// Excused reports whether a compiler diagnostic at the given line is
+// covered by one of the function's //menshen:allocok comments (same
+// line, or comment on the line above).
+func (f *Func) Excused(line int) bool {
+	for _, ok := range f.AllocOK {
+		if line == ok || line == ok+1 {
+			return true
+		}
+	}
+	return false
+}
+
+// Scan walks the tree under root and returns every annotated function,
+// sorted by Key. Test files, testdata trees, and hidden directories
+// are skipped: the annotation contract covers shipped code only.
+func Scan(root string) ([]Func, error) {
+	var out []Func
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		out = append(out, scanFile(fset, file, filepath.ToSlash(rel))...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}
+
+// scanFile extracts the annotated functions of one parsed file.
+func scanFile(fset *token.FileSet, file *ast.File, rel string) []Func {
+	var funcs []Func
+	dir := filepath.ToSlash(filepath.Dir(rel))
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Doc == nil || !hasHotpath(fd.Doc) {
+			continue
+		}
+		f := Func{
+			Key:       dir + "." + qualifiedName(fd),
+			File:      rel,
+			StartLine: fset.Position(fd.Pos()).Line,
+			EndLine:   fset.Position(fd.End()).Line,
+		}
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, "//menshen:allocok") {
+					continue
+				}
+				if line := fset.Position(c.Pos()).Line; line >= f.StartLine && line <= f.EndLine {
+					f.AllocOK = append(f.AllocOK, line)
+				}
+			}
+		}
+		funcs = append(funcs, f)
+	}
+	return funcs
+}
+
+// hasHotpath reports whether a doc comment group carries the
+// //menshen:hotpath directive.
+func hasHotpath(doc *ast.CommentGroup) bool {
+	for _, c := range doc.List {
+		if text := strings.TrimSuffix(c.Text, " "); text == "//menshen:hotpath" || strings.HasPrefix(c.Text, "//menshen:hotpath ") {
+			return true
+		}
+	}
+	return false
+}
+
+// qualifiedName renders the receiver-qualified function name:
+// "(*worker).run", "ring.push", or plain "steer".
+func qualifiedName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	switch t := fd.Recv.List[0].Type.(type) {
+	case *ast.StarExpr:
+		if id, ok := t.X.(*ast.Ident); ok {
+			return "(*" + id.Name + ")." + fd.Name.Name
+		}
+	case *ast.Ident:
+		return t.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}

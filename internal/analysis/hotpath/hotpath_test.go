@@ -1,0 +1,80 @@
+package hotpath_test
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/analysis/hotpath"
+)
+
+// write lays a file down under root, creating parents.
+func write(t *testing.T, root, rel, src string) {
+	t.Helper()
+	p := filepath.Join(root, rel)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScan(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "internal/x/x.go", `package x
+
+//menshen:hotpath
+func Plain() {}
+
+type r struct{}
+
+// Doc prose first, then the directive.
+//
+//menshen:hotpath
+func (q *r) ptr(xs []int) []int {
+	xs = append(xs, 1) //menshen:allocok bounded
+	//menshen:allocok first call only
+	m := make([]int, 1)
+	_ = m
+	return xs
+}
+
+//menshen:hotpath
+func (q r) val() {}
+
+func unannotated() {}
+`)
+	write(t, root, "internal/x/x_test.go", "package x\n\n//menshen:hotpath\nfunc testOnly() {}\n")
+	write(t, root, "internal/x/testdata/skip.go", "package skip\n\n//menshen:hotpath\nfunc skipped() {}\n")
+
+	funcs, err := hotpath.Scan(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, len(funcs))
+	for i, f := range funcs {
+		keys[i] = f.Key
+	}
+	want := []string{"internal/x.(*r).ptr", "internal/x.Plain", "internal/x.r.val"}
+	if !reflect.DeepEqual(keys, want) {
+		t.Fatalf("Scan keys = %v; want %v (test files and testdata excluded, sorted)", keys, want)
+	}
+
+	ptr := funcs[0]
+	if ptr.File != "internal/x/x.go" || ptr.StartLine >= ptr.EndLine {
+		t.Errorf("span metadata wrong: %+v", ptr)
+	}
+	if len(ptr.AllocOK) != 2 {
+		t.Fatalf("AllocOK lines = %v; want the inline and standalone comments", ptr.AllocOK)
+	}
+	// The inline form excuses its own line; the comment-above form
+	// excuses the next line.
+	if !ptr.Excused(ptr.AllocOK[0]) || !ptr.Excused(ptr.AllocOK[1]+1) {
+		t.Errorf("Excused rejects justified lines: ok=%v", ptr.AllocOK)
+	}
+	if ptr.Excused(ptr.StartLine - 1) {
+		t.Error("Excused accepts a line outside any allocok window")
+	}
+}

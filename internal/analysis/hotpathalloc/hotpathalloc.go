@@ -1,0 +1,287 @@
+// Package hotpathalloc implements the hotpathalloc analyzer: functions
+// annotated `//menshen:hotpath` must contain no allocating constructs.
+//
+// The annotation marks the per-frame code the engine's 0-alloc steady
+// state depends on — the worker run loop, the cuckoo lookups, the
+// egress scheduler's Push/Pop, pool borrow/return, StatsInto. Inside
+// an annotated function the analyzer reports:
+//
+//   - new(T) and make(...)
+//   - append(...) — any append may grow its backing array
+//   - calls into package fmt — formatting allocates
+//   - go statements — each spawns a goroutine
+//   - slice and map composite literals, and &T{...}
+//   - string concatenation and string<->[]byte conversions
+//   - method values (x.M used without calling) — each binds a closure
+//   - function literals that can escape (passed to a call, returned,
+//     stored into a field/map/slice); a literal that is immediately
+//     invoked or bound to a local variable stays on the stack
+//   - interface boxing: a non-pointer-shaped concrete value converted
+//     to an interface type, explicitly or as a call argument
+//
+// A site that is genuinely cold or amortized (a first-call make, an
+// append bounded by pre-sized capacity, an error-path fmt.Errorf) is
+// excused with an inline `//menshen:allocok <reason>` on the same line
+// or alone on the line above. The reason is mandatory: the directive
+// documents why the allocation cannot recur in steady state, and the
+// gcflags=-m escape cross-check test holds the same set of lines to
+// the compiler's own escape analysis.
+//
+// The check is intraprocedural: it inspects the annotated body only.
+// Callees are covered by annotating them too; the table-driven
+// TestHotPathZeroAlloc at the module root closes the remaining gap at
+// run time.
+package hotpathalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the hotpathalloc analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "report allocating constructs inside //menshen:hotpath functions",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) (any, error) {
+	dirs := framework.ScanDirectives(pass.Fset, pass.Files)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if _, ok := dirs.Func(fn, "hotpath"); !ok {
+				continue
+			}
+			checkFunc(pass, dirs, fn)
+		}
+	}
+	return nil, nil
+}
+
+// report emits a diagnostic unless the site carries //menshen:allocok.
+func report(pass *framework.Pass, dirs *framework.Directives, pos token.Pos, format string, args ...any) {
+	if _, ok := dirs.At(pos, "allocok"); ok {
+		return
+	}
+	pass.Reportf(pos, format, args...)
+}
+
+func checkFunc(pass *framework.Pass, dirs *framework.Directives, fn *ast.FuncDecl) {
+	info := pass.TypesInfo
+	framework.WalkStack(fn.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, dirs, n)
+		case *ast.GoStmt:
+			report(pass, dirs, n.Pos(), "hotpath: go statement allocates a goroutine")
+		case *ast.FuncLit:
+			if funcLitEscapes(n, stack) {
+				report(pass, dirs, n.Pos(), "hotpath: function literal may escape (allocates a closure); bind it to a local variable or invoke it directly")
+			}
+		case *ast.SelectorExpr:
+			if isMethodValue(info, n, stack) {
+				report(pass, dirs, n.Pos(), "hotpath: method value %s.%s allocates a closure", exprString(n.X), n.Sel.Name)
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					report(pass, dirs, n.Pos(), "hotpath: &composite literal allocates")
+					return false // don't re-report the literal itself
+				}
+			}
+		case *ast.CompositeLit:
+			switch info.TypeOf(n).Underlying().(type) {
+			case *types.Slice:
+				report(pass, dirs, n.Pos(), "hotpath: slice literal allocates")
+			case *types.Map:
+				report(pass, dirs, n.Pos(), "hotpath: map literal allocates")
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(info.TypeOf(n)) {
+				report(pass, dirs, n.Pos(), "hotpath: string concatenation allocates")
+			}
+		}
+		return true
+	})
+}
+
+// checkCall handles the call-shaped findings: allocating builtins,
+// fmt, allocating conversions, and arguments boxed into interface
+// parameters.
+func checkCall(pass *framework.Pass, dirs *framework.Directives, call *ast.CallExpr) {
+	info := pass.TypesInfo
+
+	// Builtins: new, make, append.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "new":
+				report(pass, dirs, call.Pos(), "hotpath: new allocates")
+			case "make":
+				report(pass, dirs, call.Pos(), "hotpath: make allocates")
+			case "append":
+				report(pass, dirs, call.Pos(), "hotpath: append may grow its backing array")
+			}
+			return
+		}
+	}
+
+	// Conversions: T(x).
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		dst := tv.Type
+		if len(call.Args) != 1 {
+			return
+		}
+		src := info.TypeOf(call.Args[0])
+		switch {
+		case types.IsInterface(dst.Underlying()):
+			if boxes(info, call.Args[0], src) {
+				report(pass, dirs, call.Pos(), "hotpath: conversion to interface boxes %s (allocates)", src)
+			}
+		case isString(dst) && isByteSlice(src), isByteSlice(dst) && isString(src):
+			report(pass, dirs, call.Pos(), "hotpath: string/[]byte conversion copies (allocates)")
+		}
+		return
+	}
+
+	// Calls into package fmt.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if x, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := info.Uses[x].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+				report(pass, dirs, call.Pos(), "hotpath: fmt.%s allocates (formats into fresh memory)", sel.Sel.Name)
+				return
+			}
+		}
+	}
+
+	// Arguments boxed into interface parameters.
+	sig, ok := info.TypeOf(call.Fun).Underlying().(*types.Signature)
+	if !ok || call.Ellipsis.IsValid() {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt.Underlying()) {
+			continue
+		}
+		at := info.TypeOf(arg)
+		if boxes(info, arg, at) {
+			report(pass, dirs, arg.Pos(), "hotpath: %s argument boxed into interface (allocates)", at)
+		}
+	}
+}
+
+// boxes reports whether converting expr (of concrete type t) to an
+// interface heap-allocates: true for non-interface, non-pointer-shaped
+// values. Pointer-shaped kinds (pointers, channels, maps, funcs,
+// unsafe.Pointer) store directly in the interface word; constants fold
+// into read-only static data; nil and untyped nil never allocate.
+func boxes(info *types.Info, expr ast.Expr, t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if tv, ok := info.Types[expr]; ok && (tv.Value != nil || tv.IsNil()) {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	case *types.Basic:
+		b := t.Underlying().(*types.Basic)
+		if b.Kind() == types.UnsafePointer || b.Kind() == types.UntypedNil {
+			return false
+		}
+	}
+	return true
+}
+
+// funcLitEscapes reports whether a function literal can outlive the
+// frame: anything other than an immediate invocation or a bare
+// assignment to a local identifier is treated as escaping.
+func funcLitEscapes(lit *ast.FuncLit, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return true
+	}
+	switch parent := stack[len(stack)-1].(type) {
+	case *ast.CallExpr:
+		// func(){...}() — immediately invoked, never escapes.
+		return ast.Unparen(parent.Fun) != lit
+	case *ast.AssignStmt:
+		// flush := func(){...} — bound to plain identifiers; the
+		// compiler keeps a non-escaping closure on the stack.
+		for _, lhs := range parent.Lhs {
+			if _, ok := ast.Unparen(lhs).(*ast.Ident); !ok {
+				return true
+			}
+		}
+		return false
+	case *ast.ParenExpr:
+		// Re-examine with the paren stripped: (func(){...})().
+		if len(stack) >= 2 {
+			if call, ok := stack[len(stack)-2].(*ast.CallExpr); ok {
+				return ast.Unparen(call.Fun) != lit
+			}
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+// isMethodValue reports whether sel is a bound-method value (x.M not
+// immediately called), which materializes a closure.
+func isMethodValue(info *types.Info, sel *ast.SelectorExpr, stack []ast.Node) bool {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	// x.M(...) — the selector is the call's Fun: no closure.
+	if len(stack) > 0 {
+		if call, ok := stack[len(stack)-1].(*ast.CallExpr); ok && ast.Unparen(call.Fun) == sel {
+			return false
+		}
+	}
+	return true
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// exprString renders a short selector prefix for diagnostics.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	default:
+		return "expr"
+	}
+}

@@ -1,0 +1,65 @@
+// Package hot exercises the hotpathalloc analyzer: every allocating
+// construct inside an annotated function, each escape hatch, and the
+// unannotated control.
+package hot
+
+import "fmt"
+
+type T struct{ n int }
+
+func (t *T) M() {}
+
+func sink(v any) {}
+
+func helper(f func()) {}
+
+//menshen:hotpath
+func Bad(t *T, xs []int, s string, bs []byte) {
+	p := new(T) // want "new allocates"
+	_ = p
+	m := make([]int, 4) // want "make allocates"
+	_ = m
+	xs = append(xs, 1) // want "append may grow"
+	fmt.Println(s)     // want `fmt\.Println allocates`
+	go fn()            // want "go statement allocates a goroutine"
+	_ = []int{1, 2}    // want "slice literal allocates"
+	_ = map[int]int{}  // want "map literal allocates"
+	q := &T{}          // want "&composite literal allocates"
+	_ = q
+	s = s + "y"    // want "string concatenation allocates"
+	_ = string(bs) // want `string/\[\]byte conversion`
+	f := t.M       // want "method value t.M allocates a closure"
+	_ = f
+	sink(t.n) // want "argument boxed into interface"
+	_ = xs
+}
+
+func fn() {}
+
+//menshen:hotpath
+func Excused(xs []int) []int {
+	xs = append(xs, 1) //menshen:allocok capacity pre-sized by the constructor
+	//menshen:allocok first call only; reused afterwards
+	m := make([]int, 1)
+	_ = m
+	return xs
+}
+
+//menshen:hotpath
+func Closures() {
+	f := func() {} // bound to a local and invoked: stays on the stack
+	f()
+	func() {}()       // immediately invoked: stays on the stack
+	helper(func() {}) // want "function literal may escape"
+}
+
+//menshen:hotpath
+func PointerShaped(t *T) {
+	sink(t) // pointers store directly in the interface word: fine
+	sink(3) // constants fold to static data: fine
+}
+
+// Free is unannotated: the analyzer must stay silent here.
+func Free() *T {
+	return new(T)
+}

@@ -8,7 +8,9 @@
 package benchrun
 
 import (
+	"context"
 	"testing"
+	"time"
 
 	menshen "repro"
 	"repro/internal/p4progs"
@@ -225,7 +227,12 @@ func EngineFlows(name string, workers, batch, flows int, cache bool) Result {
 		if err != nil {
 			panic(err)
 		}
-		if err := eng.AwaitQuiesce(gen); err != nil {
+		// Deadline-bounded barrier: a wedged shard should abort the
+		// bench run with a clear error, not hang the process.
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		err = eng.AwaitQuiesceCtx(ctx, gen)
+		cancel()
+		if err != nil {
 			panic(err)
 		}
 		stagedFlows = stagedFlows[:0]

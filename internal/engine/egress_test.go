@@ -281,48 +281,10 @@ func TestEngineEgressOnBatchForwardedOnly(t *testing.T) {
 	}
 }
 
-// TestEngineEgressZeroAllocSteadyState pins the acceptance criterion
-// that the egress stage preserves the zero-copy path's allocation-free
-// steady state: a warm submit→schedule→drain cycle allocates nothing.
-func TestEngineEgressZeroAllocSteadyState(t *testing.T) {
-	if raceEnabled {
-		t.Skip("race detector defeats sync.Pool reuse; alloc pin runs in the non-race pass")
-	}
-	eng, err := newDevice(t, "CALC", "NetCache").NewEngine(menshen.EngineConfig{
-		Workers:          1,
-		BatchSize:        16,
-		QueueDepth:       4096,
-		DropOnFull:       true,
-		EgressWeights:    map[uint16]float64{1: 3, 2: 1},
-		EgressQueueLimit: 64,
-		EgressQuantum:    4,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer eng.Close()
-	frames := makeTraffic(512)
-	// Warm every pool, ring, scratch, and scheduler map.
-	for i := 0; i < 4; i++ {
-		if _, err := eng.SubmitBatch(frames); err != nil {
-			t.Fatal(err)
-		}
-		eng.Drain()
-	}
-	allocs := testing.AllocsPerRun(10, func() {
-		if _, err := eng.SubmitBatch(frames); err != nil {
-			t.Fatal(err)
-		}
-		eng.Drain()
-	})
-	// The worker goroutines race with the measurement loop, so allow
-	// the occasional stray allocation while still catching any per-
-	// frame or per-batch allocation (512 frames/run would show up as
-	// hundreds).
-	if allocs > 3 {
-		t.Errorf("egress steady state allocates %.1f per 512-frame cycle; want ~0", allocs)
-	}
-}
+// The engine steady-state allocation pin lives in the
+// "engine-steady-state" entry of TestHotPathZeroAlloc
+// (hotpath_alloc_test.go at the module root), keyed to this package's
+// //menshen:hotpath annotations.
 
 // contentionPhase pushes an equal two-tenant load through eng and
 // returns each tenant's delivered egress bytes during the phase.

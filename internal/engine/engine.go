@@ -376,9 +376,13 @@ func (e *Engine) SubmitOwned(frame []byte) (bool, error) {
 // Borrow returns an n-byte buffer from the engine's pool for use with
 // SubmitOwned. Release returns one without submitting it. Buffers are
 // size-classed; steady-state Borrow/Submit cycles allocate nothing.
+//
+//menshen:hotpath
 func (e *Engine) Borrow(n int) []byte { return e.pool.get(n) }
 
 // Release returns a borrowed buffer to the pool without submitting it.
+//
+//menshen:hotpath
 func (e *Engine) Release(buf []byte) { e.pool.put(buf) }
 
 // submitScratch groups a submitted batch by destination worker so each
@@ -458,6 +462,7 @@ type submitOpts struct {
 	trusted bool     // divert well-formed reconfig frames to the control plane
 }
 
+//menshen:hotpath
 func (e *Engine) submitBatch(frames [][]byte, o submitOpts) (int, error) {
 	if o.metas != nil && len(o.metas) < len(frames) {
 		// Reject the parallel-slice misuse up front, before any buffer
@@ -469,7 +474,7 @@ func (e *Engine) submitBatch(frames [][]byte, o submitOpts) (int, error) {
 				e.pool.put(f)
 			}
 		}
-		return 0, fmt.Errorf("engine: metas slice too short: %d metas for %d frames", len(o.metas), len(frames))
+		return 0, fmt.Errorf("engine: metas slice too short: %d metas for %d frames", len(o.metas), len(frames)) //menshen:allocok cold caller-bug path, never taken in steady state
 	}
 	if e.isClosed() {
 		if o.owned {
@@ -548,9 +553,12 @@ func (e *Engine) submitBatch(frames [][]byte, o submitOpts) (int, error) {
 		if traceEvery != 0 && (traceOrigin+uint64(fi))%traceEvery == 0 {
 			aux |= TraceBit << 8
 		}
-		sc.frames[wid] = append(sc.frames[wid], buf)
-		sc.tenants[wid] = append(sc.tenants[wid], tenant)
-		sc.aux[wid] = append(sc.aux[wid], aux)
+		// The scratch slices come from a sync.Pool and keep their grown
+		// capacity across submits, so these appends stop allocating once
+		// the first few batches have sized them.
+		sc.frames[wid] = append(sc.frames[wid], buf)      //menshen:allocok amortized: pooled scratch keeps its capacity
+		sc.tenants[wid] = append(sc.tenants[wid], tenant) //menshen:allocok amortized: pooled scratch keeps its capacity
+		sc.aux[wid] = append(sc.aux[wid], aux)            //menshen:allocok amortized: pooled scratch keeps its capacity
 	}
 	if run > 0 {
 		tc.Submitted.Add(run)
@@ -626,6 +634,8 @@ func (e *Engine) Stats() Stats {
 // StatsInto snapshots the engine's telemetry into st, reusing st's
 // tenant map and worker slice across calls: a caller polling stats in a
 // loop holds one snapshot and pays no per-poll allocations.
+//
+//menshen:hotpath
 func (e *Engine) StatsInto(st *Stats) {
 	e.tel.snapshotInto(st, e.workers, time.Since(e.start))
 	st.ReconfigIssued = e.ctrl.tagger.Current()

@@ -80,6 +80,8 @@ func classFor(n int) int {
 
 // get returns a buffer with len n. The contents are unspecified (the
 // caller overwrites them).
+//
+//menshen:hotpath
 func (p *Pool) get(n int) []byte {
 	c := classFor(n)
 	if c >= 0 {
@@ -95,10 +97,10 @@ func (p *Pool) get(n int) []byte {
 		}
 		pc.mu.Unlock()
 		p.misses.Add(1)
-		return make([]byte, n, 1<<(poolMinShift+c))
+		return make([]byte, n, 1<<(poolMinShift+c)) //menshen:allocok miss path: the whole point of the pool is that steady state hits
 	}
 	p.misses.Add(1)
-	return make([]byte, n)
+	return make([]byte, n) //menshen:allocok oversized request, outside every retention class
 }
 
 // putClass returns the retention class for a buffer, or -1 to drop it.
@@ -123,6 +125,8 @@ func putClass(b []byte) int {
 }
 
 // put recycles one buffer.
+//
+//menshen:hotpath
 func (p *Pool) put(b []byte) {
 	c := putClass(b)
 	if c < 0 {
@@ -132,7 +136,7 @@ func (p *Pool) put(b []byte) {
 	limit := int(p.limit.Load())
 	pc.mu.Lock()
 	if len(pc.bufs) < limit {
-		pc.bufs = append(pc.bufs, b[:cap(b)])
+		pc.bufs = append(pc.bufs, b[:cap(b)]) //menshen:allocok freelist growth, bounded by the pool limit
 	}
 	pc.mu.Unlock()
 }
@@ -140,6 +144,8 @@ func (p *Pool) put(b []byte) {
 // putAll recycles a batch of buffers, taking each class lock once per
 // same-class run (in practice: once per batch, since one batch's frames
 // come from one tenant's traffic). Entries are nilled out.
+//
+//menshen:hotpath
 func (p *Pool) putAll(bufs [][]byte) {
 	i := 0
 	limit := int(p.limit.Load())
@@ -158,7 +164,7 @@ func (p *Pool) putAll(bufs [][]byte) {
 				break
 			}
 			if len(pc.bufs) < limit {
-				pc.bufs = append(pc.bufs, b[:cap(b)])
+				pc.bufs = append(pc.bufs, b[:cap(b)]) //menshen:allocok freelist growth, bounded by the pool limit
 			}
 			bufs[i] = nil
 			i++
@@ -184,11 +190,13 @@ type poolStasher struct {
 // buffers the current submission could still need (including this
 // one): a refill never takes more than that, so a single-frame Submit
 // moves one buffer, not a whole stash that is flushed straight back.
+//
+//menshen:hotpath
 func (s *poolStasher) get(p *Pool, n, hint int) []byte {
 	c := classFor(n)
 	if c < 0 {
 		p.misses.Add(1)
-		return make([]byte, n)
+		return make([]byte, n) //menshen:allocok oversized request, outside every retention class
 	}
 	if c != s.class || len(s.bufs) == 0 {
 		s.flush(p)
@@ -204,7 +212,7 @@ func (s *poolStasher) get(p *Pool, n, hint int) []byte {
 		}
 		if take > 0 {
 			split := len(pc.bufs) - take
-			s.bufs = append(s.bufs[:0], pc.bufs[split:]...)
+			s.bufs = append(s.bufs[:0], pc.bufs[split:]...) //menshen:allocok bounded: the stash caps at poolStash entries
 			for j := split; j < len(pc.bufs); j++ {
 				pc.bufs[j] = nil
 			}
@@ -220,10 +228,12 @@ func (s *poolStasher) get(p *Pool, n, hint int) []byte {
 		return b[:n]
 	}
 	p.misses.Add(1)
-	return make([]byte, n, 1<<(poolMinShift+c))
+	return make([]byte, n, 1<<(poolMinShift+c)) //menshen:allocok miss path: steady state hits the stash or the freelist
 }
 
 // flush returns any stashed buffers to the pool.
+//
+//menshen:hotpath
 func (s *poolStasher) flush(p *Pool) {
 	if len(s.bufs) > 0 {
 		p.putAll(s.bufs)

@@ -32,6 +32,7 @@ const (
 	fnvPrime  = 0x100000001b3
 )
 
+//menshen:hotpath
 func fnvAdd(h uint64, b []byte) uint64 {
 	for _, c := range b {
 		h = (h ^ uint64(c)) * fnvPrime
@@ -41,6 +42,8 @@ func fnvAdd(h uint64, b []byte) uint64 {
 
 // mix64 is a splitmix64-style finalizer: cheap, and avalanches every
 // input bit across the output so `mod nWorkers` spreads flows evenly.
+//
+//menshen:hotpath
 func mix64(x uint64) uint64 {
 	x ^= x >> 33
 	x *= 0xff51afd7ed558ccd
@@ -56,6 +59,8 @@ func mix64(x uint64) uint64 {
 // falls back to FNV over the first bytes of the frame, which keeps
 // malformed input both deterministic and spread out. nWorkers must
 // be > 0.
+//
+//menshen:hotpath
 func steer(frame []byte, nWorkers int) (int, uint16) {
 	var tenant uint16
 	var h uint64

@@ -52,6 +52,7 @@ type latHist struct {
 	buckets [64]atomic.Uint64
 }
 
+//menshen:hotpath
 func (h *latHist) observe(ns int64) {
 	if ns < 0 {
 		ns = 0
@@ -61,6 +62,8 @@ func (h *latHist) observe(ns int64) {
 
 // snapshotInto copies the live bucket counters into an exported
 // snapshot value.
+//
+//menshen:hotpath
 func (h *latHist) snapshotInto(dst *LatencyHistogram) {
 	for i := range h.buckets {
 		dst.Buckets[i] = h.buckets[i].Load()
@@ -172,6 +175,8 @@ func newTelemetry() *telemetry {
 }
 
 // tenant returns (creating if needed) a tenant's counter block.
+//
+//menshen:hotpath
 func (t *telemetry) tenant(id uint16) *tenantCounters {
 	t.mu.RLock()
 	tc := t.tenants[id]
@@ -182,7 +187,7 @@ func (t *telemetry) tenant(id uint16) *tenantCounters {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if tc = t.tenants[id]; tc == nil {
-		tc = &tenantCounters{}
+		tc = &tenantCounters{} //menshen:allocok once per tenant, on its first frame
 		t.tenants[id] = tc
 	}
 	return tc
@@ -403,9 +408,11 @@ func (s Stats) EgressShare(tenant uint16) float64 {
 // not one map plus one slice per poll. The receiver is the caller's:
 // it is written only during the call and never retained, but two
 // goroutines must not poll into the same receiver concurrently.
+//
+//menshen:hotpath
 func (t *telemetry) snapshotInto(st *Stats, workers []*worker, uptime time.Duration) {
 	if st.Tenants == nil {
-		st.Tenants = make(map[uint16]TenantStats)
+		st.Tenants = make(map[uint16]TenantStats) //menshen:allocok first call on a fresh receiver; reused afterwards
 	} else {
 		clear(st.Tenants)
 	}
@@ -462,6 +469,6 @@ func (t *telemetry) snapshotInto(st *Stats, workers []*worker, uptime time.Durat
 			// uint64 product of two growing counters.
 			ws.Busy = time.Duration(float64(ws.Latency.SumNs) / float64(ws.Sampled) * float64(ws.Batches))
 		}
-		st.Workers = append(st.Workers, ws)
+		st.Workers = append(st.Workers, ws) //menshen:allocok grows to the worker count on the first call; reused afterwards
 	}
 }

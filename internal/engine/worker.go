@@ -27,6 +27,7 @@ func newRing(capacity int) *ring {
 
 func (r *ring) full() bool { return r.count == len(r.buf) }
 
+//menshen:hotpath
 func (r *ring) push(f []byte, aux uint64) {
 	i := (r.head + r.count) % len(r.buf)
 	r.buf[i] = f
@@ -34,6 +35,7 @@ func (r *ring) push(f []byte, aux uint64) {
 	r.count++
 }
 
+//menshen:hotpath
 func (r *ring) pop() ([]byte, uint64) {
 	f, a := r.buf[r.head], r.aux[r.head]
 	r.buf[r.head] = nil
@@ -157,6 +159,8 @@ func (w *worker) queueLocked(tenant uint16) *ring {
 // destination ring is full; with drop=true a full ring tail-drops the
 // frame. Frames rejected because the engine is closing count as
 // queue-full drops.
+//
+//menshen:hotpath
 func (w *worker) enqueueMany(frames [][]byte, tenants []uint16, aux []uint64, drop bool) int {
 	accepted := 0
 	w.mu.Lock()
@@ -165,7 +169,7 @@ func (w *worker) enqueueMany(frames [][]byte, tenants []uint16, aux []uint64, dr
 	for i, f := range frames {
 		tenant := tenants[i]
 		if int(tenant) != lastTenant {
-			q = w.queueLocked(tenant)
+			q = w.queueLocked(tenant) //menshen:allocok once per tenant: queueLocked's lazy ring construction inlines here
 			lastTenant = int(tenant)
 		}
 		for q.full() && !w.closing && !drop {
@@ -222,6 +226,8 @@ func (w *worker) nextLocked() (uint16, *ring) {
 // it drains remaining control operations and every ring before exiting;
 // tenant fences are void once the engine is closing, so drain-on-close
 // still covers every accepted frame.
+//
+//menshen:hotpath
 func (w *worker) run() {
 	defer close(w.done)
 	for {
@@ -278,7 +284,7 @@ func (w *worker) run() {
 		hasCtx := false
 		for i := 0; i < n; i++ {
 			f, aux := q.pop()
-			w.batch = append(w.batch, f)
+			w.batch = append(w.batch, f) //menshen:allocok bounded: n <= target <= BatchSize, the slice's constructed capacity
 			w.aux[i] = aux
 			if aux != 0 {
 				hasCtx = true
@@ -419,6 +425,8 @@ func (w *worker) ensureEgress() {
 // is counted as an egress drop for its tenant and its buffer reclaimed.
 // res[i].Data aliases w.batch[i] (the in-place contract), so the item's
 // Data doubles as the pooled buffer.
+//
+//menshen:hotpath
 func (w *worker) egressEnqueue(tenant uint16, tc *tenantCounters, res []core.BatchResult) {
 	var queued, rejected uint64
 	for i := range res {
@@ -453,6 +461,8 @@ func (w *worker) egressEnqueue(tenant uint16, tc *tenantCounters, res []core.Bat
 // EgressQuantumBytes is set, additionally in bytes, so a modeled TX
 // link's capacity stays constant across mixed frame sizes; at least
 // one frame is delivered per cycle.
+//
+//menshen:hotpath
 func (w *worker) egressDrain() {
 	var runTenant uint16
 	flush := func() {
@@ -488,6 +498,7 @@ func (w *worker) egressDrain() {
 			flush()
 		}
 		runTenant = it.Tenant
+		//menshen:allocok bounded: at most EgressQuantum items per drain, the slice's constructed capacity
 		w.egRun = append(w.egRun, core.BatchResult{
 			Data:       it.Data,
 			ModuleID:   it.Tenant,

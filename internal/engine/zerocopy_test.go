@@ -294,29 +294,6 @@ func TestAdaptiveBatchTarget(t *testing.T) {
 	_ = fmt.Sprintf // keep fmt imported if assertions change
 }
 
-// TestStatsIntoReuse pins the snapshot-reuse property: polling
-// StatsInto with one snapshot allocates nothing after the first call.
-func TestStatsIntoReuse(t *testing.T) {
-	eng, err := newDevice(t, "CALC", "NetCache").NewEngine(menshen.EngineConfig{Workers: 2})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer eng.Close()
-	frames := makeTraffic(64)
-	if _, err := eng.SubmitBatch(frames); err != nil {
-		t.Fatal(err)
-	}
-	eng.Drain()
-
-	var st menshen.EngineStats
-	eng.StatsInto(&st) // first call builds the map and slices
-	allocs := testing.AllocsPerRun(50, func() {
-		eng.StatsInto(&st)
-	})
-	if allocs != 0 {
-		t.Errorf("StatsInto allocates %.1f times per snapshot; want 0", allocs)
-	}
-	if len(st.Tenants) != 2 || len(st.Workers) != 2 {
-		t.Errorf("snapshot shape: %d tenants, %d workers; want 2, 2", len(st.Tenants), len(st.Workers))
-	}
-}
+// The StatsInto snapshot-reuse pin lives in the "stats-snapshot" entry
+// of TestHotPathZeroAlloc (hotpath_alloc_test.go at the module root),
+// keyed to the telemetry //menshen:hotpath annotations.

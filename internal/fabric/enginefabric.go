@@ -118,6 +118,7 @@ type EngineNode struct {
 	ttlDropped   atomic.Uint64 // frames dropped at the MaxHops bound
 	delivered    atomic.Uint64 // frames handed to the Deliver sink
 	faultDropped atomic.Uint64 // frames consumed by link fault injectors
+	fwdRejected  atomic.Uint64 // ForwardBatch calls refused whole (downstream closed)
 }
 
 // fwdScratch accumulates one worker's cross-node hand-offs for a batch
@@ -381,11 +382,16 @@ func (n *EngineNode) onBatch(wid int, tenant uint16, res []core.BatchResult) {
 			bufs, metas = run.fault.ApplyBatch(bufs, metas, n.Eng.Release)
 			n.faultDropped.Add(run.fault.Counts().Dropped - before)
 		}
-		acc, _ := run.to.Eng.ForwardBatch(bufs, run.ingress, metas)
+		acc, err := run.to.Eng.ForwardBatch(bufs, run.ingress, metas)
 		// On error (engine closed) acc is 0 and the buffers were
-		// reclaimed into the shared pool either way.
+		// reclaimed into the shared pool either way; the shortfall is
+		// counted as link drops, and the refusal itself is attributed
+		// so a closed downstream is distinguishable from a full ring.
 		n.forwarded.Add(uint64(acc))
 		n.linkDropped.Add(uint64(len(bufs) - acc))
+		if err != nil {
+			n.fwdRejected.Add(1)
+		}
 		// ApplyBatch compacts in place but may grow the backing array
 		// when held frames rejoin; keep the grown capacity.
 		run.bufs, run.metas = bufs, metas
@@ -553,9 +559,12 @@ func (f *EngineFabric) flushDelayed() int {
 				continue
 			}
 			to := n.link[port]
-			acc, _ := to.Eng.ForwardBatch(bufs, n.linkIngress[port], metas)
+			acc, err := to.Eng.ForwardBatch(bufs, n.linkIngress[port], metas)
 			n.forwarded.Add(uint64(acc))
 			n.linkDropped.Add(uint64(len(bufs) - acc))
+			if err != nil {
+				n.fwdRejected.Add(1)
+			}
 			moved += len(bufs)
 		}
 	}
@@ -624,6 +633,11 @@ type NodeStats struct {
 	// the backpressure counter so conservation still balances under
 	// injection.
 	FaultDropped uint64
+	// ForwardRejected counts ForwardBatch calls a downstream engine
+	// refused outright (ErrClosed): the frames are already in
+	// LinkDropped, this attributes WHY — a closed engine during
+	// shutdown, not a full ring.
+	ForwardRejected uint64
 	// LinkFaults tallies each faulted egress port's injector: what it
 	// saw, dropped, corrupted, delayed, and reordered. Only ports with
 	// a FaultLink plan appear; nil when the node has none.
@@ -645,11 +659,12 @@ func (f *EngineFabric) Stats() FabricStats {
 	st := FabricStats{Nodes: make(map[string]NodeStats, len(f.order))}
 	for _, n := range f.order {
 		ns := NodeStats{
-			Forwarded:    n.forwarded.Load(),
-			LinkDropped:  n.linkDropped.Load(),
-			TTLDropped:   n.ttlDropped.Load(),
-			Delivered:    n.delivered.Load(),
-			FaultDropped: n.faultDropped.Load(),
+			Forwarded:       n.forwarded.Load(),
+			LinkDropped:     n.linkDropped.Load(),
+			TTLDropped:      n.ttlDropped.Load(),
+			Delivered:       n.delivered.Load(),
+			FaultDropped:    n.faultDropped.Load(),
+			ForwardRejected: n.fwdRejected.Load(),
 		}
 		if len(n.faultPorts) > 0 {
 			ns.LinkFaults = make(map[uint8]faultinject.Counts, len(n.faultPorts))

@@ -53,34 +53,6 @@ func BenchmarkEngineFabricChain(b *testing.B) {
 	}
 }
 
-// TestEngineFabricZeroAllocSteadyState pins the acceptance criterion:
-// a warm inject→hop→hop→deliver cycle across three engines allocates
-// nothing — buffers circulate through the shared pool, hand-offs are
-// pointer moves.
-func TestEngineFabricZeroAllocSteadyState(t *testing.T) {
-	if raceEnabled {
-		t.Skip("race detector defeats sync.Pool reuse; alloc pin runs in the non-race pass")
-	}
-	f, _ := benchChain(t, 1)
-	defer f.Close()
-	sc := trafficgen.FabricScenario(43, parityVIP, 0, 8, 1)
-	frames := sc.NextBatch(nil, 64)
-	for i := 0; i < 8; i++ {
-		if _, err := f.InjectBatch("s0", 0, frames); err != nil {
-			t.Fatal(err)
-		}
-		f.Drain()
-	}
-	allocs := testing.AllocsPerRun(10, func() {
-		if _, err := f.InjectBatch("s0", 0, frames); err != nil {
-			t.Fatal(err)
-		}
-		f.Drain()
-	})
-	// Worker goroutines race the measurement loop; allow stray noise
-	// while still catching any per-frame or per-hop allocation (64
-	// frames x 3 nodes per run would show up as hundreds).
-	if allocs > 3 {
-		t.Errorf("fabric steady state allocates %.1f per 64-frame cycle; want ~0", allocs)
-	}
-}
+// The chain's zero-allocation pin lives in the "fabric-forward" entry
+// of TestHotPathZeroAlloc (hotpath_alloc_test.go at the module root),
+// beside the rest of the hot-path guards.

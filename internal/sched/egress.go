@@ -121,6 +121,8 @@ func (q *EgressQueue) Len() int { return len(q.heap) }
 // caller keeps ownership of data. meta is the frame's out-of-band
 // metadata word, returned untouched with the item on Pop (or with the
 // evicted item).
+//
+//menshen:hotpath
 func (q *EgressQueue) Push(tenant uint16, port uint8, data []byte, meta uint64) (evicted EgressItem, hasEvicted, accepted bool) {
 	w := q.weights[tenant]
 	if w == 0 {
@@ -150,13 +152,15 @@ func (q *EgressQueue) Push(tenant uint16, port uint8, data []byte, meta uint64) 
 	q.lastFinish[tenant] = start + float64(len(data))/w
 	it := EgressItem{Tenant: tenant, Port: port, Data: data, Meta: meta, Rank: start, seq: q.seq}
 	q.seq++
-	q.heap = append(q.heap, it)
+	q.heap = append(q.heap, it) //menshen:allocok bounded: Push sheds at limit, so cap stops growing at the queue limit
 	q.siftUp(len(q.heap) - 1)
 	return evicted, hasEvicted, true
 }
 
 // Pop dequeues the best-ranked frame and advances virtual time to its
 // rank.
+//
+//menshen:hotpath
 func (q *EgressQueue) Pop() (EgressItem, bool) {
 	n := len(q.heap)
 	if n == 0 {
@@ -195,6 +199,8 @@ func onMinLevel(i int) bool { return bits.Len(uint(i+1))&1 == 1 }
 
 // beats reports whether h[a] belongs closer to the root than h[b] along
 // a min (or, with min=false, max) path.
+//
+//menshen:hotpath
 func (q *EgressQueue) beats(a, b int, min bool) bool {
 	if min {
 		return egressLess(&q.heap[a], &q.heap[b])
@@ -203,6 +209,8 @@ func (q *EgressQueue) beats(a, b int, min bool) bool {
 }
 
 // maxIndex returns the index of the worst-ranked entry (len > 0).
+//
+//menshen:hotpath
 func (q *EgressQueue) maxIndex() int {
 	switch len(q.heap) {
 	case 1:
@@ -218,6 +226,8 @@ func (q *EgressQueue) maxIndex() int {
 }
 
 // removeMax deletes and returns the entry at max index mi.
+//
+//menshen:hotpath
 func (q *EgressQueue) removeMax(mi int) EgressItem {
 	n := len(q.heap)
 	it := q.heap[mi]
@@ -230,6 +240,7 @@ func (q *EgressQueue) removeMax(mi int) EgressItem {
 	return it
 }
 
+//menshen:hotpath
 func (q *EgressQueue) siftUp(i int) {
 	if i == 0 {
 		return
@@ -248,6 +259,8 @@ func (q *EgressQueue) siftUp(i int) {
 
 // siftUpGrand bubbles i toward the root along its own (min or max)
 // levels, two generations at a time.
+//
+//menshen:hotpath
 func (q *EgressQueue) siftUpGrand(i int, min bool) {
 	for i >= 3 {
 		g := ((i-1)/2 - 1) / 2
@@ -261,6 +274,8 @@ func (q *EgressQueue) siftUpGrand(i int, min bool) {
 
 // trickleDown restores the min-max property below i after a removal
 // replaced h[i] with the previous last element.
+//
+//menshen:hotpath
 func (q *EgressQueue) trickleDown(i int, min bool) {
 	n := len(q.heap)
 	for {

@@ -252,27 +252,9 @@ func TestEgressQueueHeapProperty(t *testing.T) {
 	}
 }
 
-// TestEgressQueueZeroAllocSteadyState pins the egress fast path's
-// allocation-free property: once tenants are warm and the heap has
-// grown, Push+Pop cycles allocate nothing.
-func TestEgressQueueZeroAllocSteadyState(t *testing.T) {
-	q := NewEgressQueue(256)
-	_ = q.SetWeight(1, 3)
-	_ = q.SetWeight(2, 1)
-	frame := make([]byte, 512)
-	for i := 0; i < 512; i++ { // warm the maps and fill the heap
-		q.Push(uint16(1+i%2), 0, frame, 0)
-	}
-	allocs := testing.AllocsPerRun(200, func() {
-		q.Push(1, 0, frame, 0)
-		q.Push(2, 0, frame, 0)
-		q.Pop()
-		q.Pop()
-	})
-	if allocs != 0 {
-		t.Errorf("egress queue steady state allocates %.1f per cycle; want 0", allocs)
-	}
-}
+// The egress queue's zero-allocation pin lives in the "egress-queue"
+// entry of TestHotPathZeroAlloc (hotpath_alloc_test.go at the module
+// root), keyed to this package's //menshen:hotpath annotations.
 
 // BenchmarkEgressQueue measures the worker-TX fast path: one weighted
 // push (with push-out at the bound) plus one pop per iteration.

@@ -88,6 +88,9 @@ func flowTag(stg uint8, mod uint16, kw *tables.KeyWords) uint64 {
 
 // lookup returns the cached address for (gen, stg, mod, kw). The second
 // return is false when the slot is empty, stale, or holds another key.
+//
+//menshen:hotpath
+//menshen:guarded-by the owning worker goroutine (the cache is per-worker state; prefetch's atomic load exists only to defeat dead-code elimination)
 func (fc *FlowCache) lookup(gen uint64, stg uint8, mod uint16, kw *tables.KeyWords) (int, bool) {
 	tag := flowTag(stg, mod, kw)
 	s := &fc.slots[tag&fc.mask]
@@ -101,6 +104,9 @@ func (fc *FlowCache) lookup(gen uint64, stg uint8, mod uint16, kw *tables.KeyWor
 
 // store records a resolution (addr -1 caches a miss), displacing
 // whatever occupied the slot.
+//
+//menshen:hotpath
+//menshen:guarded-by the owning worker goroutine (see lookup)
 func (fc *FlowCache) store(gen uint64, stg uint8, mod uint16, kw *tables.KeyWords, addr int32) {
 	tag := flowTag(stg, mod, kw)
 	fc.slots[tag&fc.mask] = flowSlot{tag: tag, gen: uint32(gen), addr: addr}
@@ -110,6 +116,8 @@ func (fc *FlowCache) store(gen uint64, stg uint8, mod uint16, kw *tables.KeyWord
 // so the batched pipeline's prefetch pass pulls the line alongside the
 // cuckoo buckets. The load is atomic only so the compiler cannot
 // discard it as dead — the cache itself stays single-goroutine.
+//
+//menshen:hotpath
 func (fc *FlowCache) prefetch(_ uint64, stg uint8, mod uint16, kw *tables.KeyWords) {
 	_ = atomic.LoadUint64(&fc.slots[flowTag(stg, mod, kw)&fc.mask].tag)
 }

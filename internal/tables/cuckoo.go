@@ -78,8 +78,8 @@ func cuckooCtrl(modID uint16, addr int, fp, kw3 uint64) uint64 {
 // themselves are mutated in place (slot-atomically) by inserts and
 // deletes.
 type cuckooState struct {
-	nb   int    // buckets per side; always a power of two
-	mask uint64 // nb - 1: bucket index is hash & mask, no division
+	nb    int    // buckets per side; always a power of two
+	mask  uint64 // nb - 1: bucket index is hash & mask, no division
 	slots [2][]cuckooSlot
 }
 
@@ -201,6 +201,8 @@ func cuckooFP(h0 uint64) uint64 { return h0 >> 45 }
 // words 0-2 (word 3 lives in ctrl and is matched there). All loads are
 // atomic so concurrent mutation is race-free; the caller's seqlock
 // check rejects torn reads.
+//
+//menshen:hotpath
 func slotKWEqual(s *cuckooSlot, kw *KeyWords) bool {
 	return s.kw[0].Load() == kw[0] &&
 		s.kw[1].Load() == kw[1] &&
@@ -213,6 +215,8 @@ func slotKWEqual(s *cuckooSlot, kw *KeyWords) bool {
 // key tail byte); the remaining key words are only loaded on a
 // fingerprint match. Both buckets' first lines are touched up front so
 // their cache misses overlap instead of serializing.
+//
+//menshen:hotpath
 func probe(st *cuckooState, kw *KeyWords, modID uint16) (int, bool) {
 	hb := cuckooHashBase(kw, modID)
 	h0 := cuckooMix(hb ^ cuckooSalt(0))
@@ -248,6 +252,8 @@ func probe(st *cuckooState, kw *KeyWords, modID uint16) (int, bool) {
 // prefetches issued back to back the misses overlap in the memory
 // system. The loads are plain atomic reads — a concurrent writer is
 // harmless, and a stale line is re-fetched by the real probe.
+//
+//menshen:hotpath
 func (c *Cuckoo) PrefetchWords(kw *KeyWords, modID uint16) {
 	modID &= MaxModuleID
 	st := c.state.Load()
@@ -270,6 +276,8 @@ const cuckooReadRetries = 8
 // LookupWords returns the action address for (kw, modID), where kw is
 // the already-masked key in word form. It is the hot-path entry point:
 // no lock, no allocation, wait-free unless a writer is mid-mutation.
+//
+//menshen:hotpath
 func (c *Cuckoo) LookupWords(kw *KeyWords, modID uint16) (int, bool) {
 	modID &= MaxModuleID
 	for try := 0; try < cuckooReadRetries; try++ {
@@ -290,6 +298,8 @@ func (c *Cuckoo) LookupWords(kw *KeyWords, modID uint16) (int, bool) {
 }
 
 // Lookup returns the action address for (key, modID).
+//
+//menshen:hotpath
 func (c *Cuckoo) Lookup(key Key, modID uint16) (int, bool) {
 	kw := key.Words()
 	return c.LookupWords(&kw, modID)
@@ -301,6 +311,8 @@ func (c *Cuckoo) Lookup(key Key, modID uint16) (int, bool) {
 // probes amortizes the version handshake across the batch — the
 // software analogue of issuing the batch's hash reads back to back.
 // out must be at least as long as kws.
+//
+//menshen:hotpath
 func (c *Cuckoo) LookupWordsBatch(modID uint16, kws []KeyWords, out []int32) int {
 	modID &= MaxModuleID
 	hits := 0

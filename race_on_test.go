@@ -1,0 +1,9 @@
+//go:build race
+
+package menshen
+
+// raceEnabled reports that the race detector is active: it defeats
+// sync.Pool reuse (parked scratch is dropped aggressively) and makes
+// worker goroutines race the measurement loop, so the strict
+// zero-allocation pins run in the non-race pass only.
+const raceEnabled = true

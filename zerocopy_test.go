@@ -39,38 +39,9 @@ func batchFixture(t *testing.T, n int) (*Device, [][]byte, []core.BatchResult) {
 	return dev, frames, make([]core.BatchResult, n)
 }
 
-// TestProcessBatchInPlaceZeroAlloc pins the acceptance property: after
-// the first batch resolves the module's cached views, the in-place
-// batched path performs zero allocations per batch.
-func TestProcessBatchInPlaceZeroAlloc(t *testing.T) {
-	dev, frames, res := batchFixture(t, 32)
-	pipe := dev.Pipeline()
-	// Warm up: resolve module views, stats blocks, and parse programs.
-	if err := pipe.ProcessBatchInPlace(frames, 0, res); err != nil {
-		t.Fatal(err)
-	}
-	allocs := testing.AllocsPerRun(100, func() {
-		if err := pipe.ProcessBatchInPlace(frames, 0, res); err != nil {
-			t.Fatal(err)
-		}
-	})
-	if allocs != 0 {
-		t.Fatalf("ProcessBatchInPlace allocates %.1f times per batch; want 0", allocs)
-	}
-	// The copying path is allowed its recycled result buffers, but must
-	// also be allocation-free once they exist.
-	if err := pipe.ProcessBatch(frames, 0, res); err != nil {
-		t.Fatal(err)
-	}
-	allocs = testing.AllocsPerRun(100, func() {
-		if err := pipe.ProcessBatch(frames, 0, res); err != nil {
-			t.Fatal(err)
-		}
-	})
-	if allocs != 0 {
-		t.Fatalf("ProcessBatch allocates %.1f times per batch; want 0", allocs)
-	}
-}
+// The zero-allocation pin for the batched pipeline lives in the
+// "process-batch-in-place" entry of TestHotPathZeroAlloc
+// (hotpath_alloc_test.go), beside every other hot-path guard.
 
 // TestProcessBatchInPlaceAliasesInput checks the in-place contract:
 // res[i].Data is the submitted buffer itself, with bytes identical to
