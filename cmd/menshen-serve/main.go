@@ -32,12 +32,26 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/fabric"
+	"repro/internal/ingress"
 	"repro/internal/obs"
 	"repro/internal/p4progs"
 	"repro/internal/packet"
 	"repro/internal/sysmod"
 	"repro/internal/trafficgen"
 )
+
+// multiFlag is a repeatable string flag (-listen-udp may bind several
+// sockets).
+type multiFlag []string
+
+// String renders the accumulated values.
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+// Set appends one occurrence.
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
 
 func main() {
 	modules := flag.String("modules", "CALC,Firewall,NetCache", "comma-separated Table 3 program names, one tenant each")
@@ -78,6 +92,13 @@ func main() {
 		"per-command loss probability injected into the middle node's reconfig delivery (-chaos only)")
 	chaosEvents := flag.Int("chaos-events", 12,
 		"scheduled control-plane events — alternating egress-weight churn and verified reloads (-chaos only)")
+	var listenUDP, listenTCP, listenUnix multiFlag
+	flag.Var(&listenUDP, "listen-udp",
+		"bind a UDP ingress listener on this address (e.g. 127.0.0.1:0); repeatable. In -fabric mode use node=addr (bare addr binds on the entry node s0). Combine with -packets 0 and -mgmt-linger to run as a pure serving daemon")
+	flag.Var(&listenTCP, "listen-tcp",
+		"bind a TCP ingress listener (length-prefixed stream framing) on this address; repeatable, node=addr in -fabric mode")
+	flag.Var(&listenUnix, "listen-unix",
+		"bind a Unix-datagram ingress listener at this socket path; repeatable, node=path in -fabric mode")
 	flag.Parse()
 
 	if *chaosMode {
@@ -112,6 +133,9 @@ func main() {
 			mgmtAddr:   *mgmtAddr,
 			mgmtLinger: *mgmtLinger,
 			traceEvery: *traceEvery,
+			udp:        listenUDP,
+			tcp:        listenTCP,
+			unix:       listenUnix,
 		})
 		return
 	}
@@ -224,6 +248,23 @@ func main() {
 
 	fmt.Printf("engine: %d workers, batch %d, queue %d\n", eng.Workers(), *batch, *queue)
 
+	// Socket ingress: every -listen-* flag becomes a Source feeding this
+	// engine through the borrowed-buffer path, alongside (or instead of)
+	// the in-process generator below.
+	var ing *ingress.Listeners
+	if len(listenUDP)+len(listenTCP)+len(listenUnix) > 0 {
+		byNode, err := buildIngress(listenUDP, listenTCP, listenUnix, "")
+		if err != nil {
+			fatal(err)
+		}
+		ing = byNode[""]
+		for _, src := range ing.Sources() {
+			fmt.Printf("ingress: %s listening on %s\n", src.Transport(), src.Addr())
+		}
+		ing.Start(eng)
+		eng.RegisterIngress(ing.Fill)
+	}
+
 	// The mid-run reconfiguration scenario: at -live-reconfig evenly
 	// spaced points in the stream, unload the last tenant from the
 	// running shards and replay its full command stream back in, while
@@ -335,6 +376,17 @@ func main() {
 		time.Sleep(*mgmtLinger)
 		eng.StatsInto(&st)
 	}
+	if ing != nil {
+		// Stop the sockets before the engine: Serve loops return, queued
+		// ingress frames drain through the workers, and the final report
+		// below sees settled counters on both sides of the conservation
+		// identity.
+		if err := ing.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "menshen-serve: ingress:", err)
+		}
+		eng.Drain()
+		eng.StatsInto(&st)
+	}
 	if mgmtLn != nil {
 		_ = mgmtLn.Close()
 	}
@@ -379,6 +431,16 @@ func main() {
 		}
 	}
 
+	if len(st.Ingress) > 0 {
+		fmt.Printf("\n--- ingress ---\n")
+		for _, is := range st.Ingress {
+			fmt.Printf("%-8s %-24s received %9d (%7.2f MB)  submitted %9d  rejected %6d  short %5d  oversize %5d  decode-err %3d  conns %3d (retries %d, resets %d)\n",
+				is.Transport, is.Listen, is.Received, float64(is.ReceivedBytes)/1e6,
+				is.Submitted, is.SubmitRejected, is.ShortDropped, is.OversizeDropped,
+				is.DecodeErrors, is.ConnsAccepted, is.AcceptRetries, is.ConnResets)
+		}
+	}
+
 	fmt.Printf("\n--- zero-copy ---\n")
 	fmt.Printf("buffer pool: %d hits, %d misses (hit rate %.3f); ingress bytes copied: %.2f MB\n",
 		st.PoolHits, st.PoolMisses, st.PoolHitRate(), float64(st.BytesCopied)/1e6)
@@ -416,6 +478,61 @@ type fabricRun struct {
 	mgmtAddr              string
 	mgmtLinger            time.Duration
 	traceEvery            int
+	udp, tcp, unix        []string
+}
+
+// splitNodeAddr splits a -listen-* value into its fabric node and
+// address halves ("s1=:9000" → "s1", ":9000"); a bare address targets
+// defNode.
+func splitNodeAddr(spec, defNode string) (node, addr string) {
+	if i := strings.IndexByte(spec, '='); i >= 0 {
+		return spec[:i], spec[i+1:]
+	}
+	return defNode, spec
+}
+
+// buildIngress turns the -listen-* flag sets into per-node listener
+// aggregates. defNode names the fabric entry node for bare addresses;
+// it is "" in single-engine mode, where node= prefixes are rejected.
+func buildIngress(udp, tcp, unix []string, defNode string) (map[string]*ingress.Listeners, error) {
+	// A 4 MiB kernel receive buffer on datagram sockets rides out load
+	// bursts in the kernel queue instead of dropping them there, where
+	// no counter of ours would see the loss.
+	cfg := ingress.Config{ReadBuffer: 4 << 20}
+	byNode := map[string]*ingress.Listeners{}
+	add := func(spec string, mk func(addr string) (ingress.Source, error)) error {
+		node, addr := splitNodeAddr(spec, defNode)
+		if defNode == "" && node != "" {
+			return fmt.Errorf("node-qualified listener %q needs -fabric mode", spec)
+		}
+		src, err := mk(addr)
+		if err != nil {
+			return err
+		}
+		l := byNode[node]
+		if l == nil {
+			l = ingress.NewListeners()
+			byNode[node] = l
+		}
+		l.Add(src)
+		return nil
+	}
+	for _, s := range udp {
+		if err := add(s, func(a string) (ingress.Source, error) { return ingress.ListenUDP(a, cfg) }); err != nil {
+			return nil, err
+		}
+	}
+	for _, s := range tcp {
+		if err := add(s, func(a string) (ingress.Source, error) { return ingress.ListenTCP(a, cfg) }); err != nil {
+			return nil, err
+		}
+	}
+	for _, s := range unix {
+		if err := add(s, func(a string) (ingress.Source, error) { return ingress.ListenUnixgram(a, cfg) }); err != nil {
+			return nil, err
+		}
+	}
+	return byNode, nil
 }
 
 // startMgmt mounts the management API on addr and serves it from a
@@ -552,6 +669,23 @@ func runFabric(r fabricRun) {
 		}, sources...)
 		mgmtLn = startMgmt(r.mgmtAddr, srv)
 	}
+	// Per-node socket ingress: a node=addr -listen-* flag binds on that
+	// node's engine; a bare address binds on the entry node s0.
+	ings, err := buildIngress(r.udp, r.tcp, r.unix, "s0")
+	if err != nil {
+		fatal(err)
+	}
+	for nodeName, ing := range ings {
+		n, err := fab.Node(nodeName)
+		if err != nil {
+			fatal(fmt.Errorf("-listen flag targets unknown fabric node: %w", err))
+		}
+		for _, src := range ing.Sources() {
+			fmt.Printf("ingress: %s listening on %s (node %s)\n", src.Transport(), src.Addr(), nodeName)
+		}
+		ing.Start(n.Eng)
+		n.Eng.RegisterIngress(ing.Fill)
+	}
 	sc := trafficgen.FabricScenario(r.seed, vip, r.size, r.flows, ids...)
 	var frames [][]byte
 	start := time.Now()
@@ -575,6 +709,14 @@ func runFabric(r fabricRun) {
 	if mgmtLn != nil {
 		_ = mgmtLn.Close()
 	}
+	for _, ing := range ings {
+		if err := ing.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "menshen-serve: ingress:", err)
+		}
+	}
+	if len(ings) > 0 {
+		fab.Drain() // settle socket-injected frames before the snapshot
+	}
 	st := fab.Stats()
 	if err := fab.Close(); err != nil {
 		fatal(err)
@@ -594,6 +736,11 @@ func runFabric(r fabricRun) {
 			ts := ns.Engine.Tenants[id]
 			fmt.Printf("  tenant %2d: in %9d  forwarded %9d  dropped %7d (queue %d, pipeline %d)\n",
 				id, ts.Submitted, ts.Processed, ts.Dropped(), ts.QueueFull, ts.PipelineDrops)
+		}
+		for _, is := range ns.Engine.Ingress {
+			fmt.Printf("  ingress %s %s: received %d  submitted %d  rejected %d  short %d  oversize %d  decode-err %d  resets %d\n",
+				is.Transport, is.Listen, is.Received, is.Submitted, is.SubmitRejected,
+				is.ShortDropped, is.OversizeDropped, is.DecodeErrors, is.ConnResets)
 		}
 	}
 

@@ -23,6 +23,7 @@ var docCheckedDirs = []string{
 	"internal/sched",
 	"internal/fabric",
 	"internal/obs",
+	"internal/ingress",
 	"internal/faultinject",
 	"internal/analysis/framework",
 	"internal/analysis/analysistest",

@@ -10,7 +10,9 @@
 // a closed engine (a bug in shutdown ordering). The analyzer reports
 // any call to a counted-fate method declared in this module —
 // ForwardBatch, SubmitOwned, SubmitBatchOwned, InjectBatch, FaultLink,
-// ApplyVerified, LoadModuleVerified, InsertFlowsVerified — whose
+// ApplyVerified, LoadModuleVerified, InsertFlowsVerified, plus the
+// ingress plane's Serve (a Source's terminal RX-loop error) and
+// SendBatch (the load client's counted-fate writes) — whose
 // trailing error result is discarded: the call used as a bare
 // statement (or under go/defer), or the error position assigned to
 // the blank identifier.
@@ -40,6 +42,8 @@ var counted = map[string]bool{
 	"ApplyVerified":       true,
 	"LoadModuleVerified":  true,
 	"InsertFlowsVerified": true,
+	"Serve":               true,
+	"SendBatch":           true,
 }
 
 // Analyzer is the countederr analyzer.

@@ -1,0 +1,15 @@
+// Package ingress is a fixture stand-in for the real ingress plane:
+// the counted-fate APIs PR 10 added to the analyzer's list.
+package ingress
+
+type Source struct{}
+
+// Serve returns the RX loop's terminal error — the one record of why a
+// transport died; dropping it leaves a dead listener unexplained.
+func (s *Source) Serve() error { return nil }
+
+type LoadClient struct{}
+
+// SendBatch writes frames with counted-fate semantics: the count says
+// how many were durably written, the error says why the rest were not.
+func (c *LoadClient) SendBatch(frames [][]byte) (int, error) { return len(frames), nil }

@@ -227,6 +227,11 @@ type Engine struct {
 	// it once a batch's results have been delivered. It is private
 	// unless Config.Pool supplied a shared one.
 	pool *Pool
+
+	// ingressFills holds the registered ingress snapshot fillers
+	// (RegisterIngress), behind an atomic pointer so StatsInto reads
+	// them lock-free on its polling hot path.
+	ingressFills atomic.Pointer[[]func([]IngressStats) []IngressStats]
 }
 
 // New builds the worker shards, replays the module set into each
@@ -635,9 +640,34 @@ func (e *Engine) Stats() Stats {
 // tenant map and worker slice across calls: a caller polling stats in a
 // loop holds one snapshot and pays no per-poll allocations.
 //
+// RegisterIngress adds an ingress telemetry filler: every StatsInto
+// call invokes fill to append one IngressStats per transport onto
+// Stats.Ingress (append-style, so a polling caller's slice is reused
+// and the poll stays allocation-free once warm). fill must be safe to
+// call from any goroutine and must only append. Typical wiring is an
+// ingress.Listeners' Fill method. Fillers cannot be removed — a
+// closed source keeps reporting its final counters, which is what a
+// conservation audit wants.
+func (e *Engine) RegisterIngress(fill func([]IngressStats) []IngressStats) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var fills []func([]IngressStats) []IngressStats
+	if p := e.ingressFills.Load(); p != nil {
+		fills = append(fills, *p...)
+	}
+	fills = append(fills, fill)
+	e.ingressFills.Store(&fills)
+}
+
 //menshen:hotpath
 func (e *Engine) StatsInto(st *Stats) {
 	e.tel.snapshotInto(st, e.workers, time.Since(e.start))
+	st.Ingress = st.Ingress[:0]
+	if fills := e.ingressFills.Load(); fills != nil {
+		for _, fill := range *fills {
+			st.Ingress = fill(st.Ingress)
+		}
+	}
 	st.ReconfigIssued = e.ctrl.tagger.Current()
 	st.ReconfigFrames = e.tel.reconfigFrames.Load()
 	st.Updating = e.ctrl.updating.Load()

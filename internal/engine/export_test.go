@@ -1,0 +1,7 @@
+package engine
+
+// Test-only exports: internals the external test package (engine_test)
+// exercises directly. engine_test exists so tests can import packages
+// that themselves import engine (trafficgen, ingress) without an
+// import cycle.
+var Steer = steer

@@ -1,19 +1,20 @@
-package engine
+package engine_test
 
 import (
 	"testing"
 
+	"repro/internal/engine"
 	"repro/internal/trafficgen"
 )
 
 func TestSteerDeterministic(t *testing.T) {
 	frame := trafficgen.CalcPacket(3, trafficgen.CalcAdd, 1, 2, 0)
-	w0, tenant := steer(frame, 4)
+	w0, tenant := engine.Steer(frame, 4)
 	if tenant != 3 {
 		t.Fatalf("tenant = %d, want 3 (VLAN ID)", tenant)
 	}
 	for i := 0; i < 100; i++ {
-		w, tn := steer(frame, 4)
+		w, tn := engine.Steer(frame, 4)
 		if w != w0 || tn != tenant {
 			t.Fatalf("steer not deterministic: (%d,%d) then (%d,%d)", w0, tenant, w, tn)
 		}
@@ -25,8 +26,8 @@ func TestSteerSameFlowSameWorker(t *testing.T) {
 	// the same worker (per-flow state consistency).
 	a := trafficgen.CalcPacket(1, trafficgen.CalcAdd, 10, 20, 0)
 	b := trafficgen.CalcPacket(1, trafficgen.CalcSub, 999, 1, 256)
-	wa, _ := steer(a, 8)
-	wb, _ := steer(b, 8)
+	wa, _ := engine.Steer(a, 8)
+	wb, _ := engine.Steer(b, 8)
 	if wa != wb {
 		t.Fatalf("same flow split across workers: %d vs %d", wa, wb)
 	}
@@ -39,7 +40,7 @@ func TestSteerSpreadsFlows(t *testing.T) {
 		f := trafficgen.FlowPacket(1,
 			[4]byte{10, 0, 1, 1}, [4]byte{10, 0, 1, 2},
 			uint16(4000+flow), 5000, 0)
-		w, _ := steer(f, 4)
+		w, _ := engine.Steer(f, 4)
 		seen[w] = true
 	}
 	if len(seen) < 2 {
@@ -57,8 +58,8 @@ func TestSteerMalformedFrames(t *testing.T) {
 		make([]byte, 20),
 	}
 	for _, f := range frames {
-		w1, tn1 := steer(f, 4)
-		w2, tn2 := steer(f, 4)
+		w1, tn1 := engine.Steer(f, 4)
+		w2, tn2 := engine.Steer(f, 4)
 		if w1 != w2 || tn1 != tn2 {
 			t.Fatalf("malformed frame steering not deterministic")
 		}

@@ -294,12 +294,68 @@ func (s WorkerStats) AvgBatch() float64 {
 	return float64(s.Frames) / float64(s.Batches)
 }
 
+// IngressStats is one ingress transport's counter snapshot: the
+// socket-side accounting of a frame source feeding the engine through
+// the borrowed-buffer path (internal/ingress). Sources register a fill
+// function with Engine.RegisterIngress; StatsInto then appends one of
+// these per transport into Stats.Ingress. The counters partition every
+// byte read off the socket into exactly one fate — the "counted, never
+// silent" discipline extended to the network edge:
+//
+//	reads = Received + ShortDropped + OversizeDropped
+//	Received = Submitted + SubmitRejected
+//
+// so client-sent == delivered + every counted drop class holds end to
+// end on lossless transports (TCP, Unix datagram).
+type IngressStats struct {
+	// Transport is the transport kind ("udp", "tcp", "unixgram",
+	// "trafficgen", ...).
+	Transport string
+	// Listen is the bound listen address (socket path for unixgram).
+	Listen string
+	// Received counts well-formed frames read off the transport and
+	// offered to the engine.
+	Received uint64
+	// ReceivedBytes counts the bytes of those frames.
+	ReceivedBytes uint64
+	// Submitted counts received frames the engine accepted
+	// (SubmitOwned returned true).
+	Submitted uint64
+	// SubmitRejected counts received frames the engine refused —
+	// rate-limited or ring-full; the engine's per-tenant counters say
+	// which. The buffer was reclaimed into the pool either way.
+	SubmitRejected uint64
+	// ShortDropped counts frames below the transport's minimum frame
+	// size, dropped before submission.
+	ShortDropped uint64
+	// OversizeDropped counts datagrams above the transport's maximum
+	// frame size, dropped before submission (stream transports reject
+	// oversize lengths as DecodeErrors instead).
+	OversizeDropped uint64
+	// DecodeErrors counts unrecoverable stream-framing violations
+	// (zero or oversize length prefix); each closes its connection.
+	DecodeErrors uint64
+	// ConnsAccepted counts accepted stream connections.
+	ConnsAccepted uint64
+	// AcceptRetries counts transient accept failures retried under the
+	// capped-backoff schedule.
+	AcceptRetries uint64
+	// ConnResets counts stream connections that died mid-stream (read
+	// error or a cut mid-frame): the in-flight remainder is the
+	// counted — not silent — loss of a lossy link.
+	ConnResets uint64
+}
+
 // Stats is a snapshot of the whole engine.
 type Stats struct {
 	// Tenants maps tenant (module) ID to its counters.
 	Tenants map[uint16]TenantStats
 	// Workers holds per-shard service stats, indexed by worker ID.
 	Workers []WorkerStats
+	// Ingress holds one counter snapshot per registered ingress
+	// transport (RegisterIngress); nil/empty when no sources feed this
+	// engine.
+	Ingress []IngressStats
 	// Uptime is the time since the engine started.
 	Uptime time.Duration
 

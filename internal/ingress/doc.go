@@ -1,0 +1,53 @@
+// Package ingress is the engine's frame-source abstraction: the seam
+// where real traffic — sockets today, shared-memory rings tomorrow —
+// enters the dataplane through the zero-copy borrowed-buffer path.
+//
+// # Sources and sinks
+//
+// A Source is anything that produces frames: ListenUDP, ListenTCP,
+// ListenUnixgram, or trafficgen's scenario adapter. A Sink is anything
+// that consumes them through the engine's owned-buffer contract —
+// *engine.Engine and the root facade's *menshen.Engine both satisfy
+// it. A Source's RX loop runs Borrow → read → SubmitOwned: the kernel
+// copies the datagram or stream bytes into a pool buffer the source
+// borrowed, and from there to the wire the engine never copies the
+// frame again. The Listeners aggregate owns the serve goroutines and
+// surfaces every source's counters through Engine.RegisterIngress.
+//
+// # Ownership and lifetime of RX buffers
+//
+// The RX loop borrows a buffer from the sink's pool, fills it from the
+// socket, and hands it to SubmitOwned. From that call on the buffer
+// belongs to the engine — accepted or not (a rejected frame's buffer
+// is reclaimed into the pool immediately). A frame that never reaches
+// SubmitOwned (short, oversize) is Released back by the source. Either
+// way every borrowed buffer has exactly one owner at all times and the
+// steady state allocates nothing.
+//
+// Frames submitted this way ride the engine's *trusted* submit path:
+// like in-process Submit, a well-formed reconfiguration frame (UDP
+// port 0xf1f2, Figure 7) is diverted to the control plane. An ingress
+// socket is therefore the PCIe-host analogue, not an untrusted device
+// port — deployments fronting untrusted peers must filter
+// reconfiguration frames upstream or use the Inject/Forward paths.
+//
+// # Counted, never silent
+//
+// Every byte read off a transport lands in exactly one counter fate
+// (engine.IngressStats): well-formed frames are Received and then
+// either Submitted or SubmitRejected; malformed input is ShortDropped,
+// OversizeDropped, or DecodeErrors; a stream cut mid-frame is a
+// ConnResets. Loss degrades into counters, never into blocking or
+// silence — so integration tests (and operators reading /metrics) can
+// assert exact conservation: client-sent == delivered + every counted
+// drop class.
+//
+// # Backoff contract
+//
+// Transient failures retry under one capped exponential schedule,
+// Backoff: delay Base<<attempt clamped to Max, reset on success. The
+// TCP accept loop uses it for transient accept errors (counted as
+// AcceptRetries) and trafficgen's LoadClient uses it for redial, so a
+// flapped listener costs bounded, decaying retry work — never a spin,
+// never a hang.
+package ingress

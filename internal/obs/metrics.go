@@ -409,6 +409,7 @@ func appendMetrics(b []byte, nodes []NodeStats, scratch *metricsScratch) []byte 
 	}
 
 	appendLinkFaults(sb, nodes)
+	appendIngress(sb, nodes)
 
 	const histName = "menshen_worker_batch_latency_seconds"
 	sb.family(histName, "Sampled batch service time (log2 buckets re-emitted cumulatively).", "histogram")
@@ -479,6 +480,64 @@ func appendLinkFaults(sb *seriesBuf, nodes []NodeStats) {
 					sb.labelStr("kind", k.kind)
 					sb.valUint(k.val(c))
 				}
+			}
+		}
+	}
+}
+
+// ingressScalar is one per-transport ingress family, labeled by
+// transport kind and listen address.
+type ingressScalar struct {
+	name, help string
+	val        func(is *engine.IngressStats) uint64
+}
+
+var ingressScalars = []ingressScalar{
+	{"menshen_ingress_received_frames_total", "Well-formed frames read off the transport and offered to the engine.",
+		func(is *engine.IngressStats) uint64 { return is.Received }},
+	{"menshen_ingress_received_bytes_total", "Bytes of the received frames.",
+		func(is *engine.IngressStats) uint64 { return is.ReceivedBytes }},
+	{"menshen_ingress_submitted_frames_total", "Received frames the engine accepted.",
+		func(is *engine.IngressStats) uint64 { return is.Submitted }},
+	{"menshen_ingress_rejected_frames_total", "Received frames the engine refused (rate-limited or ring-full).",
+		func(is *engine.IngressStats) uint64 { return is.SubmitRejected }},
+	{"menshen_ingress_short_frames_total", "Frames below the transport minimum, dropped before submission.",
+		func(is *engine.IngressStats) uint64 { return is.ShortDropped }},
+	{"menshen_ingress_oversize_frames_total", "Datagrams above the transport maximum, dropped before submission.",
+		func(is *engine.IngressStats) uint64 { return is.OversizeDropped }},
+	{"menshen_ingress_decode_errors_total", "Unrecoverable stream-framing violations (each closes its connection).",
+		func(is *engine.IngressStats) uint64 { return is.DecodeErrors }},
+	{"menshen_ingress_conns_accepted_total", "Stream connections accepted.",
+		func(is *engine.IngressStats) uint64 { return is.ConnsAccepted }},
+	{"menshen_ingress_accept_retries_total", "Transient accept failures retried under capped backoff.",
+		func(is *engine.IngressStats) uint64 { return is.AcceptRetries }},
+	{"menshen_ingress_conn_resets_total", "Stream connections cut mid-stream (counted in-flight loss).",
+		func(is *engine.IngressStats) uint64 { return is.ConnResets }},
+}
+
+// appendIngress renders the per-transport ingress counter families for
+// nodes whose engines carry registered ingress sources; with no
+// ingress anywhere every family is skipped.
+func appendIngress(sb *seriesBuf, nodes []NodeStats) {
+	any := false
+	for ni := range nodes {
+		if len(nodes[ni].Stats.Ingress) > 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+	for _, m := range ingressScalars {
+		sb.family(m.name, m.help, "counter")
+		for ni := range nodes {
+			for ii := range nodes[ni].Stats.Ingress {
+				is := &nodes[ni].Stats.Ingress[ii]
+				sb.start(m.name, nodes[ni].Node)
+				sb.labelStr("transport", is.Transport)
+				sb.labelStr("listen", is.Listen)
+				sb.valUint(m.val(is))
 			}
 		}
 	}

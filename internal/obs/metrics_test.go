@@ -53,6 +53,15 @@ func goldenNodes() []NodeStats {
 		Updating: 4,
 		PoolHits: 3, PoolMisses: 1,
 		BytesCopied: 4096,
+		// Two ingress transports so the per-transport families render:
+		// a UDP listener with dgram drop classes and a TCP listener
+		// with the stream/connection classes populated.
+		Ingress: []engine.IngressStats{
+			{Transport: "udp", Listen: "127.0.0.1:9000", Received: 800, ReceivedBytes: 51200,
+				Submitted: 780, SubmitRejected: 20, ShortDropped: 7, OversizeDropped: 3},
+			{Transport: "tcp", Listen: "127.0.0.1:9001", Received: 200, ReceivedBytes: 12800,
+				Submitted: 200, DecodeErrors: 2, ConnsAccepted: 5, AcceptRetries: 1, ConnResets: 3},
+		},
 	}
 	winA := []engine.LatencyHistogram{func() engine.LatencyHistogram {
 		var h engine.LatencyHistogram

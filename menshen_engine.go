@@ -30,6 +30,11 @@ type EngineResult = core.BatchResult
 // EngineStats is a telemetry snapshot; see Engine.Stats.
 type EngineStats = engine.Stats
 
+// IngressStats is one ingress transport's counter snapshot; sources
+// registered with Engine.RegisterIngress append these to
+// EngineStats.Ingress.
+type IngressStats = engine.IngressStats
+
 // EngineConfig configures Device.NewEngine.
 type EngineConfig struct {
 	// Workers is the number of pipeline shards (default 4).
@@ -197,6 +202,13 @@ func (e *Engine) Stats() EngineStats { return e.eng.Stats() }
 // StatsInto snapshots telemetry into st, reusing its map and slices so
 // a polling loop pays no per-snapshot allocations.
 func (e *Engine) StatsInto(st *EngineStats) { e.eng.StatsInto(st) }
+
+// RegisterIngress adds an ingress telemetry filler appended to every
+// snapshot's Ingress slice — wire an ingress.Listeners' Fill here so
+// socket-side counters surface through Stats and /metrics.
+func (e *Engine) RegisterIngress(fill func([]IngressStats) []IngressStats) {
+	e.eng.RegisterIngress(fill)
+}
 
 // SetTenantLimit installs a per-tenant token-bucket allowance (packets
 // and bits per second; zero disables a dimension) enforced at submit.
